@@ -1,0 +1,43 @@
+"""E7 — §4.7.2 improvement percentages: HPC-GPT (L2) against the other
+LLM-based methods, averaged across the five key metrics (recall,
+specificity, precision, accuracy, adjusted F1).
+
+Paper reference points: C/C++ gains of 36.11% / 34.84% / 26.33% / 11.1%
+/ 3.85% over LLaMa / LLaMa-2 / GPT-3.5 / GPT-4 / HPC-GPT (L1); Fortran
+gains of 31.89% / 35.23% / 21.34% / 15.79% / 7.28%.
+"""
+
+from repro.eval.tables import improvements_over
+
+from benchmarks._shared import table5_output, write_out
+
+BASELINES = ["LLaMa", "LLaMa2", "GPT-3.5", "GPT-4", "HPC-GPT (L1)"]
+
+
+def test_improvements(benchmark):
+    out = table5_output()
+
+    def compute():
+        return {
+            lang: improvements_over(out.rows, "HPC-GPT (L2)", BASELINES, lang)
+            for lang in ("C/C++", "Fortran")
+        }
+
+    gains = benchmark(compute)
+
+    lines = ["§4.7.2 — mean improvement of HPC-GPT (L2) over baselines (%)"]
+    for lang, by_base in gains.items():
+        lines.append(f"{lang}:")
+        for base in BASELINES:
+            lines.append(f"  vs {base:<14} {by_base[base]:+8.2f}%")
+    write_out("improvements.txt", "\n".join(lines))
+
+    # Shape: large gains over the zero-shot base models, moderate over
+    # GPT-3.5/GPT-4, small (possibly ~zero) over HPC-GPT (L1).
+    for lang in ("C/C++", "Fortran"):
+        g = gains[lang]
+        assert g["LLaMa"] > 20 and g["LLaMa2"] > 20
+        assert g["GPT-3.5"] > 5
+        assert g["GPT-4"] > 0
+        assert g["LLaMa"] > g["GPT-4"]
+        assert abs(g["HPC-GPT (L1)"]) < 20

@@ -1,0 +1,39 @@
+"""E1 — Table 1: instruction instances for both HPC tasks.
+
+Regenerates the two example instances the paper shows (a Task-1 QA pair
+and a Task-2 detection pair) through the actual teacher + filter path,
+and benchmarks the per-instance emission cost.
+"""
+
+import json
+
+from repro.datagen import DataCollectionPipeline, TeacherConfig, TeacherLM
+from repro.drb import DRBSuite
+from repro.knowledge import build_knowledge_base
+
+from benchmarks._shared import write_out
+
+
+def _collect_examples():
+    kb = build_knowledge_base()
+    pipeline = DataCollectionPipeline(teacher=TeacherLM(TeacherConfig()))
+    poj = next(
+        c for c in kb if c.task == "plp" and c.facts.get("Dataset Name") == "POJ-104"
+    )
+    t1 = pipeline.collect_task1([poj], targets={"Clone detection": 1})
+    pool = DRBSuite.training(n_per_category=2).chunks()
+    racy = next(c for c in pool if c.facts["label"] == "yes")
+    t2 = pipeline.collect_task2([racy], targets={("C/C++", racy.category): 1})
+    return t1.records[0], t2.records[0]
+
+
+def test_table1_instances(benchmark):
+    rec1, rec2 = benchmark(_collect_examples)
+    lines = ["Table 1: Instance with An Instruction", "", "Task 1: Model and datasets for HPC"]
+    lines.append(json.dumps(rec1.to_training_json(), indent=1))
+    lines += ["", "Task 2: Data Race Detection"]
+    lines.append(json.dumps(rec2.to_training_json(), indent=1))
+    write_out("table1_instances.txt", "\n".join(lines))
+
+    assert rec1.output and rec2.output in ("yes", "no")
+    assert "data race problem" in rec2.instruction

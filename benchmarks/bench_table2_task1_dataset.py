@@ -1,0 +1,36 @@
+"""E2 — Table 2: the Task-1 instruction dataset at full paper counts
+(13 PLP categories, 603 instances; 5 MLPerf categories, 1820 instances).
+"""
+
+from repro.datagen import TABLE2_TARGETS, DataCollectionPipeline
+from repro.datagen.pipeline import _MLPERF_CATEGORIES
+from repro.knowledge import build_knowledge_base
+
+from benchmarks._shared import write_out
+
+
+def _collect():
+    kb = build_knowledge_base(plp_entries_per_category=12, mlperf_rows=120)
+    return DataCollectionPipeline().collect_task1(kb, scale=1.0)
+
+
+def test_table2_full_dataset(benchmark):
+    bundle = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    counts = bundle.counts_by_category()
+    plp_pct = bundle.percentages("plp")
+    ml_pct = bundle.percentages("mlperf")
+
+    lines = ["Table 2: Dataset Information for Task 1",
+             f"{'Subtask':<8} {'Category':<26} {'Number':>7} {'Percentage':>11}"]
+    for cat, target in TABLE2_TARGETS.items():
+        subtask = "MLPerf" if cat in _MLPERF_CATEGORIES else "PLP"
+        pct = (ml_pct if subtask == "MLPerf" else plp_pct).get(cat, 0.0)
+        lines.append(f"{subtask:<8} {cat:<26} {counts.get(cat, 0):>7} {pct:>10.2f}%")
+    lines.append(f"{'':<8} {'TOTAL':<26} {len(bundle):>7}")
+    lines.append(f"filter stats: {bundle.stats.as_dict()}")
+    write_out("table2_task1_dataset.txt", "\n".join(lines))
+
+    # Composition must match the paper exactly.
+    for cat, target in TABLE2_TARGETS.items():
+        assert counts.get(cat, 0) == target, cat
+    assert len(bundle) == sum(TABLE2_TARGETS.values()) == 2423

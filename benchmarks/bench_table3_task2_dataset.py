@@ -1,0 +1,38 @@
+"""E3 — Table 3: the Task-2 (data race detection) instruction dataset at
+full paper counts: 14 categories x {C/C++, Fortran}, 3338 instances.
+"""
+
+from repro.datagen import TABLE3_TARGETS, DataCollectionPipeline
+from repro.datagen.pipeline import RACE_CATEGORIES
+from repro.drb import DRBSuite
+
+from benchmarks._shared import write_out
+
+
+def _collect():
+    pool = DRBSuite.training(n_per_category=150).chunks()
+    return DataCollectionPipeline().collect_task2(pool, scale=1.0)
+
+
+def test_table3_full_dataset(benchmark):
+    bundle = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    counts = bundle.counts_by_language_category()
+
+    lines = ["Table 3: Dataset Information for Task 2",
+             f"{'Language':<9} {'Category':<36} {'Number':>7} {'Percentage':>11} {'Label':>6}"]
+    for lang in ("C/C++", "Fortran"):
+        lang_total = sum(v for (l, _), v in counts.items() if l == lang)
+        for (l, cat), target in TABLE3_TARGETS.items():
+            if l != lang:
+                continue
+            n = counts.get((l, cat), 0)
+            label = "yes" if cat in RACE_CATEGORIES else "no"
+            lines.append(
+                f"{lang:<9} {cat:<36} {n:>7} {100.0 * n / lang_total:>10.2f}% {label:>6}"
+            )
+    lines.append(f"TOTAL {len(bundle)} (paper: 3338); filter: {bundle.stats.as_dict()}")
+    write_out("table3_task2_dataset.txt", "\n".join(lines))
+
+    for key, target in TABLE3_TARGETS.items():
+        assert counts.get(key, 0) == target, key
+    assert len(bundle) == sum(TABLE3_TARGETS.values()) == 3338

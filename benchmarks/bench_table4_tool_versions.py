@@ -1,0 +1,24 @@
+"""E4 — Table 4: data race detection tool and compiler versions.
+
+The registry metadata stands in for the paper's tool installation table;
+the benchmark measures detector construction cost.
+"""
+
+from repro.detectors import build_tool_detectors
+from repro.eval import render_table4
+
+from benchmarks._shared import write_out
+
+
+def test_table4_tool_versions(benchmark):
+    detectors = benchmark(build_tool_detectors)
+    write_out("table4_tool_versions.txt", render_table4())
+
+    assert [d.name for d in detectors] == [
+        "LLOV", "Intel Inspector", "ROMP", "Thread Sanitizer",
+    ]
+    text = render_table4()
+    for needle in ("10.0.0", "2021.1", "20ac93c", "N/A",
+                   "Clang/LLVM 10.0.0", "Intel Compiler 2021.3.0",
+                   "GCC/gfortran 7.4.0", "Clang/LLVM 6.0.1"):
+        assert needle in text

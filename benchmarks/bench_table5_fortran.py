@@ -1,0 +1,41 @@
+"""E6 — Table 5, Fortran block: all ten detectors on the 166-program
+evaluation suite (84 race / 82 race-free)."""
+
+from repro.eval import render_table5
+
+from benchmarks._shared import eval_suite, harness, table5_output, write_out
+
+
+def test_table5_fortran(benchmark):
+    out = table5_output()
+    write_out("table5_fortran.txt", render_table5(out.rows, "Fortran"))
+
+    rows = {r.tool: r for r in out.rows if r.language == "Fortran"}
+    assert rows["LLOV"].counts.total == 166
+
+    # Paper shapes for the Fortran block:
+    # 1. Every LLM method reaches TSR 1.0 ("Fortran's TSR for LLM-based
+    #    methods is 1.0, surpassing existing tools").
+    for llm in ("GPT-3.5", "GPT-4", "LLaMa", "LLaMa2", "HPC-GPT (L1)", "HPC-GPT (L2)"):
+        assert rows[llm].tsr == 1.0, llm
+    # 2. ...while some tools lose support on Fortran (TSan notably).
+    assert rows["Thread Sanitizer"].tsr < 1.0
+    assert rows["ROMP"].tsr < 1.0
+    # 3. HPC-GPT leads the LLM pack and beats the zero-shot models.
+    for tuned in ("HPC-GPT (L1)", "HPC-GPT (L2)"):
+        assert rows[tuned].accuracy > rows["GPT-4"].accuracy
+        assert rows[tuned].adjusted_f1 > rows["LLaMa2"].adjusted_f1
+    # 4. Base models near chance.
+    for base in ("LLaMa", "LLaMa2"):
+        assert rows[base].accuracy < 0.65
+
+    from repro.detectors import build_tool_detectors
+
+    h = harness()
+    for spec in eval_suite().by_language("Fortran"):
+        h.traces_for(spec)
+
+    def run_tools():
+        return h.run(build_tool_detectors(), languages=("Fortran",))
+
+    benchmark.pedantic(run_tools, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Deployment demo (Figure 1, stage 4): start the HPC-GPT web server and
+exercise the API with the bundled client.
+
+Usage::
+
+    python examples/serve_demo.py            # round-trip demo, then exit
+    python examples/serve_demo.py --forever  # keep serving on :8080
+"""
+
+import argparse
+
+from repro.core import HPCGPTSystem, SMALL_PRESET
+from repro.serve import HPCGPTClient
+from repro.serve.server import serve_forever, start_background
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--forever", action="store_true")
+    args = parser.parse_args()
+
+    print("Building HPC-GPT (small preset)...")
+    system = HPCGPTSystem(SMALL_PRESET)
+    system.finetuned("l2")  # warm the model before serving
+
+    if args.forever:
+        serve_forever(system, port=8080)
+        return
+
+    server, _ = start_background(system)
+    host, port = server.server_address
+    url = f"http://{host}:{port}"
+    print("Serving on", url)
+
+    client = HPCGPTClient(url)
+    print("health:", client.health())
+    print("answer:", client.answer(
+        "Which baseline model is commonly evaluated on the POJ-104 dataset?"))
+    racy = ("int i;\ndouble y[32], x[32];\n#pragma omp parallel for\n"
+            "for (i = 1; i < 32; i++) { y[i] = y[i-1] + x[i]; }\n")
+    print("detect:", client.detect(racy))
+    server.shutdown()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

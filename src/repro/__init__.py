@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of *HPC-GPT: Integrating Large
+Language Model for High-Performance Computing* (SC-W 2023).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the HPC-GPT system (collect -> fine-tune -> serve);
+* :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.llm` — the NumPy
+  autograd + LLaMA-architecture training substrate;
+* :mod:`repro.datagen` — the §3.2 instruction-data pipeline;
+* :mod:`repro.knowledge` / :mod:`repro.ontology` — Task-1 knowledge and
+  the HPC Ontology baseline;
+* :mod:`repro.openmp` / :mod:`repro.runtime` / :mod:`repro.drb` — the
+  OpenMP mini-compiler, simulated parallel machine, and the
+  DataRaceBench-equivalent suite;
+* :mod:`repro.detectors` / :mod:`repro.eval` — the ten Table-5 methods
+  and the metrics/harness;
+* :mod:`repro.serve` — the deployment stage.
+"""
+
+from repro.core import HPCGPTConfig, HPCGPTSystem, PAPER_PRESET, SMALL_PRESET
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HPCGPTConfig",
+    "HPCGPTSystem",
+    "PAPER_PRESET",
+    "SMALL_PRESET",
+    "__version__",
+]

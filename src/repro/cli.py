@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``build``    collect data and fine-tune both HPC-GPT variants
+``ask``      answer a Task-1 question
+``detect``   classify a kernel file (or stdin) for data races
+``eval``     run the Table-5 evaluation and print both blocks
+``serve``    start the web API/GUI
+``export``   write the DataRaceBench-equivalent suite to a directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _add_preset_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--preset", choices=["small", "paper"], default="small",
+                   help="model/data scale (small: ~1 min build; paper: ~10 min)")
+
+
+def _make_system(preset: str):
+    from repro.core import HPCGPTSystem, PAPER_PRESET, SMALL_PRESET
+
+    return HPCGPTSystem(PAPER_PRESET if preset == "paper" else SMALL_PRESET)
+
+
+def cmd_build(args) -> int:
+    """Collect instruction data and fine-tune both HPC-GPT variants."""
+    system = _make_system(args.preset)
+    bundle = system.collect_data()
+    print(f"collected {len(bundle)} instruction instances "
+          f"({bundle.stats.rejected()} rejected by the filter)")
+    for version in ("l1", "l2"):
+        model = system.finetuned(version)
+        print(f"HPC-GPT ({version.upper()}): {model.num_parameters():,} params, "
+              f"threshold {system.threshold(version):+.3f}")
+    return 0
+
+
+def cmd_ask(args) -> int:
+    """Answer a Task-1 question with the fine-tuned model."""
+    system = _make_system(args.preset)
+    print(system.answer(args.question, version=args.version))
+    return 0
+
+
+def cmd_detect(args) -> int:
+    """Classify a kernel (file or stdin) for data races."""
+    code = Path(args.file).read_text() if args.file != "-" else sys.stdin.read()
+    system = _make_system(args.preset)
+    print(system.detect_race(code, language=args.language, version=args.version))
+    return 0
+
+
+def cmd_eval(args) -> int:
+    """Run the Table-5 evaluation and print both language blocks."""
+    from repro.drb import DRBSuite
+    from repro.eval import EvaluationHarness, HarnessConfig, render_table5
+
+    system = _make_system(args.preset)
+    detectors = system.table5_detectors()
+    if args.tools_only:
+        detectors = [d for d in detectors if d.kind != "llm"]
+    suite = DRBSuite.evaluation(seed=args.seed)
+    out = EvaluationHarness(suite, HarnessConfig()).run(detectors)
+    for language in ("C/C++", "Fortran"):
+        print(render_table5(out.rows, language))
+        print()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Start the blocking web API/GUI server."""
+    from repro.serve.server import serve_forever
+
+    system = _make_system(args.preset)
+    system.finetuned("l2")
+    serve_forever(system, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_export(args) -> int:
+    """Write the benchmark suite (sources + manifest) to a directory."""
+    from repro.drb import DRBSuite
+
+    suite = DRBSuite.evaluation(seed=args.seed)
+    out_dir = Path(args.out)
+    n = suite_write_sources(suite, out_dir)
+    print(f"wrote {n} kernels under {out_dir}")
+    return 0
+
+
+def suite_write_sources(suite, out_dir: Path) -> int:
+    """Write each kernel to ``<out>/<language>/<id>.{c,f90}`` with a
+    ground-truth manifest, mirroring the real DataRaceBench layout."""
+    import json
+
+    manifest = []
+    for spec in suite.specs:
+        lang_dir = out_dir / ("c" if spec.language == "C/C++" else "fortran")
+        lang_dir.mkdir(parents=True, exist_ok=True)
+        ext = "c" if spec.language == "C/C++" else "f90"
+        path = lang_dir / f"{spec.id}.{ext}"
+        path.write_text(spec.source)
+        manifest.append({
+            "id": spec.id, "language": spec.language, "category": spec.category,
+            "label": spec.label, "file": str(path.relative_to(out_dir)),
+        })
+    (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=1))
+    return len(manifest)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HPC-GPT reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="collect data and fine-tune HPC-GPT")
+    _add_preset_arg(p)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("ask", help="answer a Task-1 question")
+    _add_preset_arg(p)
+    p.add_argument("question")
+    p.add_argument("--version", choices=["l1", "l2"], default="l2")
+    p.set_defaults(func=cmd_ask)
+
+    p = sub.add_parser("detect", help="data-race detection on a kernel file")
+    _add_preset_arg(p)
+    p.add_argument("file", help="kernel source path, or '-' for stdin")
+    p.add_argument("--language", choices=["C/C++", "Fortran"], default="C/C++")
+    p.add_argument("--version", choices=["l1", "l2"], default="l2")
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("eval", help="run the Table-5 evaluation")
+    _add_preset_arg(p)
+    p.add_argument("--tools-only", action="store_true",
+                   help="skip LLM rows (no model build needed)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("serve", help="start the web API/GUI")
+    _add_preset_arg(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("export", help="write the benchmark suite to disk")
+    p.add_argument("out")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""The paper's primary contribution: the HPC-GPT system.
+
+:class:`~repro.core.hpcgpt.HPCGPTSystem` wires the four Figure-1 stages
+— automatic data collection, supervised fine-tuning, evaluation, and
+deployment — around the substrates, and exposes the user-facing API
+(`answer`, `detect_race`).
+"""
+
+from repro.core.hpcgpt import HPCGPTConfig, HPCGPTSystem, SMALL_PRESET, PAPER_PRESET
+
+__all__ = ["HPCGPTConfig", "HPCGPTSystem", "SMALL_PRESET", "PAPER_PRESET"]

@@ -1,0 +1,335 @@
+"""HPC-GPT: build, train, and serve the fine-tuned HPC models.
+
+The system follows Figure 1:
+
+1. **Automatic data collection** — knowledge base + DRB training pool
+   through the teacher/filter pipeline (Tables 2 and 3 composition);
+2. **Training** — pretrained base models (LLaMA sims) fine-tuned with
+   LoRA/PEFT + fp16 on the collected instruction data;
+3. **Evaluation** — via :mod:`repro.eval` (Table 5, Task-1 QA);
+4. **Deployment** — via :mod:`repro.serve`.
+
+Fine-tuned weights are cached on disk keyed by the full configuration,
+so benches re-run instantly after the first build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.datagen import DataCollectionPipeline, DatasetBundle, TeacherConfig, TeacherLM
+from repro.datagen.prompts import race_instruction
+from repro.drb.generator import generate_training_pool
+from repro.drb.suite import spec_to_chunk
+from repro.finetune import SFTConfig, SFTTrainer
+from repro.knowledge import build_knowledge_base, build_mlperf_table, build_plp_catalog
+from repro.llm import GenerationConfig, ModelConfig, ModelRegistry, PretrainConfig
+from repro.llm.chat import ChatFormat
+from repro.llm.generation import generate
+from repro.llm.model import CausalLM
+from repro.llm.registry import default_cache_dir
+from repro.nn import LoRAConfig, merge_lora
+from repro.nn.serialization import load_state, save_state
+from repro.ontology import HPCOntology
+
+
+#: Bumped whenever the knowledge base or DRB templates change, so stale
+#: fine-tuned checkpoints are never loaded against fresh data.
+DATA_VERSION = 4
+
+
+@dataclass(frozen=True)
+class HPCGPTConfig:
+    """Everything that determines a build (and its cache key)."""
+
+    model: ModelConfig = field(default_factory=lambda: ModelConfig(
+        vocab_size=768, dim=64, n_layers=2, n_heads=4, hidden_dim=176,
+        max_seq_len=448, name="hpc-gpt",
+    ))
+    pretrain: PretrainConfig = field(default_factory=lambda: PretrainConfig(
+        n_sentences=1200, steps=300, batch_size=16, seq_len=64, lr=3e-3,
+    ))
+    # Full fine-tuning by default: at this substrate scale (~10^5 params)
+    # adapter-rank orderings are seed-noise and narrow adapters underfit
+    # (the LoRA-rank ablation, E14, reports measured numbers); the
+    # paper's LoRA recipe is implemented and exercised there.
+    sft: SFTConfig = field(default_factory=lambda: SFTConfig(
+        lr=3e-3, epochs=8, batch_size=16, max_seq_len=448,
+        lora=LoRAConfig(rank=0),
+    ))
+    task1_scale: float = 0.25
+    task2_scale: float = 0.30
+    train_pool_per_category: int = 50
+    plp_entries_per_category: int = 12
+    mlperf_rows: int = 110
+    seed: int = 0
+    use_cache: bool = True
+
+    def cache_key(self) -> str:
+        payload = json.dumps(asdict(self), sort_keys=True, default=str)
+        payload += f"|data-v{DATA_VERSION}"
+        return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+#: Fast preset for tests and examples (trains in ~a minute on CPU).
+SMALL_PRESET = HPCGPTConfig(
+    model=ModelConfig(vocab_size=512, dim=32, n_layers=2, n_heads=2,
+                      hidden_dim=88, max_seq_len=320, name="hpc-gpt-small"),
+    pretrain=PretrainConfig(n_sentences=400, steps=120, batch_size=8, seq_len=48, lr=4e-3),
+    sft=SFTConfig(lr=3e-3, epochs=12, batch_size=8, max_seq_len=320,
+                  lora=LoRAConfig(rank=0)),
+    task1_scale=0.05,
+    task2_scale=0.05,
+    train_pool_per_category=10,
+    plp_entries_per_category=8,
+    mlperf_rows=24,
+)
+
+#: The bench preset (full Table-2/3 data shares, two fine-tuned models).
+PAPER_PRESET = HPCGPTConfig()
+
+_BASES = {"l1": "llama-13b-sim", "l2": "llama2-13b-sim"}
+
+
+class HPCGPTSystem:
+    """The end-to-end system with lazy, cached stages."""
+
+    def __init__(self, config: HPCGPTConfig | None = None) -> None:
+        self.config = config or PAPER_PRESET
+        self._registry: ModelRegistry | None = None
+        self._bundle: DatasetBundle | None = None
+        self._finetuned: dict[str, CausalLM] = {}
+        self._thresholds: dict[str, float] = {}
+        self._knowledge = None
+        self._ontology: HPCOntology | None = None
+        self.cache_dir = default_cache_dir() if self.config.use_cache else None
+
+    # -- substrate accessors -------------------------------------------------
+
+    @property
+    def knowledge_base(self):
+        if self._knowledge is None:
+            self._knowledge = build_knowledge_base(
+                plp_entries_per_category=self.config.plp_entries_per_category,
+                mlperf_rows=self.config.mlperf_rows,
+                seed=self.config.seed,
+            )
+        return self._knowledge
+
+    @property
+    def registry(self) -> ModelRegistry:
+        if self._registry is None:
+            extra = [c.text for c in self.knowledge_base]
+            pool = generate_training_pool(
+                n_per_category=4, seed=self.config.seed + 1
+            )
+            extra += [s.source for s in pool]
+            extra.append(race_instruction("for (i = 0; i < n; i++) a[i] = b[i];", "C/C++"))
+            self._registry = ModelRegistry(
+                model_config=self.config.model,
+                pretrain_config=self.config.pretrain,
+                extra_tokenizer_texts=extra,
+                cache_dir=self.cache_dir if self.cache_dir else None,
+            )
+        return self._registry
+
+    @property
+    def tokenizer(self):
+        return self.registry.tokenizer()
+
+    def ontology(self) -> HPCOntology:
+        if self._ontology is None:
+            self._ontology = HPCOntology(
+                build_plp_catalog(self.config.plp_entries_per_category, seed=self.config.seed),
+                build_mlperf_table(self.config.mlperf_rows, seed=self.config.seed),
+            )
+        return self._ontology
+
+    # -- stage 1: automatic data collection ---------------------------------------
+
+    def collect_data(self) -> DatasetBundle:
+        """Run the Listing-1/2 pipeline for both HPC applications."""
+        if self._bundle is not None:
+            return self._bundle
+        cfg = self.config
+        pipeline = DataCollectionPipeline(
+            teacher=TeacherLM(TeacherConfig(seed=cfg.seed))
+        )
+        task1 = pipeline.collect_task1(self.knowledge_base, scale=cfg.task1_scale)
+        pool = generate_training_pool(
+            n_per_category=cfg.train_pool_per_category, seed=cfg.seed + 1
+        )
+        chunks = [spec_to_chunk(s) for s in pool]
+        task2 = pipeline.collect_task2(chunks, scale=cfg.task2_scale)
+        self._bundle = task1.merge(task2)
+        return self._bundle
+
+    # -- stage 2: supervised fine-tuning --------------------------------------------
+
+    def finetuned(self, version: str = "l2") -> CausalLM:
+        """The fine-tuned model for ``version`` in {"l1", "l2"} —
+        HPC-GPT (L1) on the LLaMA sim, HPC-GPT (L2) on the LLaMA-2 sim."""
+        if version in self._finetuned:
+            return self._finetuned[version]
+        base_name = _BASES[version]
+        ckpt = (
+            self.cache_dir / f"hpcgpt-{version}-{self.config.cache_key()}.npz"
+            if self.cache_dir
+            else None
+        )
+        if ckpt is not None and ckpt.exists():
+            model = CausalLM(self.config.model, np.random.default_rng(0))
+            meta = load_state(model, ckpt)
+            model.eval()
+            self._finetuned[version] = model
+            self._thresholds[version] = float(meta.get("threshold", 0.0))
+            return model
+
+        base = self.registry.base_model(base_name)
+        model = base.copy()
+        trainer = SFTTrainer(model, self.tokenizer, self.config.sft)
+        records = self.collect_data().records
+        trainer.train(records)
+        merge_lora(model)  # fold adapters for serving
+        model.eval()
+        self._finetuned[version] = model
+        self._thresholds[version] = self._calibrate(model, records)
+        if ckpt is not None:
+            save_state(model, ckpt, extra={"threshold": self._thresholds[version]})
+        return model
+
+    def _calibrate(self, model: CausalLM, records, max_examples: int = 160) -> float:
+        """Fit the yes/no margin threshold on *training* records (the
+        midpoint of per-class median margins), absorbing class bias."""
+        from repro.detectors.llm_detector import yes_no_margin
+
+        task2 = [r for r in records if r.task == "datarace"]
+        half = max_examples // 2
+        yes_recs = [r for r in task2 if r.output == "yes"][:half]
+        no_recs = [r for r in task2 if r.output == "no"][:half]
+        yes_m = [yes_no_margin(model, self.tokenizer, r.instruction) for r in yes_recs]
+        no_m = [yes_no_margin(model, self.tokenizer, r.instruction) for r in no_recs]
+        if not yes_m or not no_m:
+            return 0.0
+        return float((np.median(yes_m) + np.median(no_m)) / 2.0)
+
+    def threshold(self, version: str = "l2") -> float:
+        """The calibrated detection threshold (building if necessary)."""
+        self.finetuned(version)
+        return self._thresholds[version]
+
+    # -- user-facing API (stage 4 consumes these) ----------------------------------
+
+    def answer(self, question: str, version: str = "l2", max_new_tokens: int = 40) -> str:
+        """Free-form Task-1 question answering."""
+        model = self.finetuned(version)
+        chat = ChatFormat(self.tokenizer)
+        ids = chat.prompt_ids(question)
+        out = generate(
+            model, self.tokenizer, ids,
+            GenerationConfig(max_new_tokens=max_new_tokens, temperature=0.0),
+        )
+        return self.tokenizer.decode(out).strip()
+
+    def detect_race(self, code: str, language: str = "C/C++", version: str = "l2") -> str:
+        """Task-2 detection: returns "yes" or "no" (calibrated margin)."""
+        from repro.detectors.llm_detector import yes_no_margin
+
+        model = self.finetuned(version)
+        margin = yes_no_margin(model, self.tokenizer, race_instruction(code, language))
+        return "yes" if margin >= self.threshold(version) else "no"
+
+    # -- §5: updating HPC-GPT with latest data -----------------------------------------
+
+    def update_with(self, records, version: str = "l2", epochs: int | None = None) -> None:
+        """§5's checkpoint-resume strategy: "creating a checkpoint of the
+        current model version and then resuming training using the newly
+        acquired data".  Continues SFT from the current weights on
+        ``records`` and recalibrates the detection threshold over the
+        combined data."""
+        import dataclasses
+
+        model = self.finetuned(version)
+        sft = self.config.sft
+        if epochs is not None:
+            sft = dataclasses.replace(sft, epochs=epochs)
+        trainer = SFTTrainer(model, self.tokenizer, sft)
+        trainer.train(list(records))
+        merge_lora(model)
+        model.eval()
+        combined = self.collect_data().records + list(records)
+        self._thresholds[version] = self._calibrate(model, combined)
+
+    def retrieval_answerer(self, extra_chunks=None, k: int = 3):
+        """§5's LangChain-style strategy: build a vector store over the
+        current knowledge base (plus ``extra_chunks`` of *new* data) and
+        return a retrieval-augmented answerer — new facts become
+        answerable without any retraining."""
+        from repro.retrieval import RetrievalAugmentedAnswerer, TfidfEmbedder, VectorStore
+
+        chunks = list(self.knowledge_base) + list(extra_chunks or [])
+        embedder = TfidfEmbedder(self.tokenizer).fit([c.text for c in chunks])
+        store = VectorStore(embedder)
+        store.add([c.text for c in chunks], [{"facts": c.facts} for c in chunks])
+        return RetrievalAugmentedAnswerer(store, k=k)
+
+    # -- detector construction for Table 5 --------------------------------------------
+
+    def table5_detectors(self) -> list:
+        """All ten Table-5 rows, in the paper's order."""
+        from repro.detectors import (
+            GPTHeuristicDetector,
+            HPCGPTDetector,
+            LLMBaseModelDetector,
+            build_tool_detectors,
+        )
+
+        tok = self.tokenizer
+        detectors = build_tool_detectors()
+        detectors.append(GPTHeuristicDetector("GPT-3.5", "gpt-3.5", tok, seed=self.config.seed))
+        detectors.append(GPTHeuristicDetector("GPT-4", "gpt-4", tok, seed=self.config.seed))
+        detectors.append(
+            LLMBaseModelDetector("LLaMa", self.registry.base_model("llama-13b-sim"), tok)
+        )
+        detectors.append(
+            LLMBaseModelDetector("LLaMa2", self.registry.base_model("llama2-13b-sim"), tok)
+        )
+        detectors.append(
+            HPCGPTDetector("HPC-GPT (L1)", self.finetuned("l1"), tok, self.threshold("l1"))
+        )
+        detectors.append(
+            HPCGPTDetector("HPC-GPT (L2)", self.finetuned("l2"), tok, self.threshold("l2"))
+        )
+        return detectors
+
+    # -- Task-1 answering methods for the QA comparison -------------------------------
+
+    def task1_methods(self) -> dict:
+        """question -> answer callables for GPT-4 sim, HPC Ontology, and
+        HPC-GPT (L2), as in Listings 3-4."""
+
+        def gpt4_generic(question: str) -> str:
+            # The paper's GPT-4 lacks the (post-cutoff) catalog facts and
+            # answers generically (Listings 3-4); reproduce that failure.
+            topic = question.strip().rstrip("?")
+            return (
+                f"As of my last update, {topic[:60].lower()} depends on the "
+                "specific setup; such components are commonly documented by "
+                "their maintainers."
+            )
+
+        onto = self.ontology()
+        rag = self.retrieval_answerer()
+        return {
+            "GPT-4": gpt4_generic,
+            "HPC-Ontology": onto.answer,
+            "HPC-GPT (L2)": lambda q: self.answer(q, version="l2"),
+            # The deployed configuration (§5): the same model grounded in
+            # the vector store — exact entities with full coverage.
+            "HPC-GPT (L2) + retrieval": rag.answer,
+        }

@@ -1,0 +1,72 @@
+"""The teacher prompts, reproduced verbatim from the paper.
+
+Listing 1 is the instruction-generation prompt; Listing 2 is the
+instruction-answer generation prompt.  The rendered strings are what the
+:class:`~repro.datagen.teacher.TeacherLM` consumes, and the numbered
+requirements inside them are what the filtering stage enforces.
+"""
+
+from __future__ import annotations
+
+INSTRUCTION_PROMPT_TEMPLATE = """The HPC knowledge is:
+
+{knowledge}
+
+According to the information above, please help me generate {number} questions.
+
+Here are the requirements:
+1. Try not to repeat the verb for each question to maximize diversity.
+2. Make sure the output is less than 50 words.
+3. The questions can be asked under many conditions.
+4. Do not generate the same or similar questions as generated before.
+
+Now, please generate the instructions following the above requirements."""
+
+
+ANSWER_PROMPT_TEMPLATE = """The HPC knowledge is:
+
+{knowledge}.
+
+Please answer the following question based on the above knowledge:
+{instruction}
+
+Here are the requirements:
+1. Try not to repeat the verb for each answer to maximize diversity.
+2. Make sure the output is less than 50 words.
+3. The questions can be asked under many conditions.
+4. Make sure the answer is more than 10 words.
+5. Make sure the answer can be obtained from the information provided.
+6. Do not generate the same or similar answers as generated before.
+7. There are three fields for your generation: {{"instruction": <question>, "Input": "", "output": <answer>}}.
+
+Now, please generate the data in JSON format following the above requirements."""
+
+
+#: Table-1 instruction wording for the data-race task (shared between the
+#: teacher, the fine-tuning data, and the LLM detectors so train and test
+#: prompts match exactly).
+RACE_INSTRUCTION_TEMPLATE = (
+    "Given the code snippet: ```{lang_tag}\n{code}\n```, help me detect if "
+    "adding pragma will cause a data race problem? Answer 'yes' if it causes "
+    "a data race problem and 'no' if it will not cause a data race problem."
+)
+
+
+def race_instruction(code: str, language: str) -> str:
+    """Render the Table-1 data-race detection instruction."""
+    lang_tag = "fortran" if language == "Fortran" else "c"
+    return RACE_INSTRUCTION_TEMPLATE.format(lang_tag=lang_tag, code=code)
+
+
+def render_instruction_prompt(knowledge: str, number: int) -> str:
+    """Fill Listing 1 with a knowledge chunk and a question count."""
+    if number <= 0:
+        raise ValueError("number of questions must be positive")
+    return INSTRUCTION_PROMPT_TEMPLATE.format(knowledge=knowledge, number=number)
+
+
+def render_answer_prompt(knowledge: str, instruction: str) -> str:
+    """Fill Listing 2 with a knowledge chunk and a generated instruction."""
+    if not instruction.strip():
+        raise ValueError("instruction must be non-empty")
+    return ANSWER_PROMPT_TEMPLATE.format(knowledge=knowledge, instruction=instruction)

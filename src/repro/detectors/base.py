@@ -1,0 +1,60 @@
+"""Detector interface and result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.drb.generator import KernelSpec
+from repro.runtime.interpreter import Trace
+
+
+class Verdict(str, enum.Enum):
+    """A tool's answer for one program."""
+
+    RACE = "yes"
+    NO_RACE = "no"
+    UNSUPPORTED = "unsupported"
+
+
+@dataclass(frozen=True)
+class ToolResult:
+    """Outcome of running one detector on one program."""
+
+    tool: str
+    program_id: str
+    verdict: Verdict
+    detail: str = ""
+
+    @property
+    def supported(self) -> bool:
+        """Whether the tool produced a verdict (TSR numerator)."""
+        return self.verdict is not Verdict.UNSUPPORTED
+
+
+class Detector:
+    """Base class.  Subclasses define :attr:`name`, :meth:`supports`, and
+    :meth:`detect`.
+
+    Dynamic detectors receive pre-computed traces from the harness (one
+    Machine exploration shared across all dynamic tools); static and
+    LLM-based detectors ignore them.
+    """
+
+    name: str = "detector"
+    kind: str = "static"  # static | dynamic | llm
+
+    def supports(self, spec: KernelSpec) -> bool:  # pragma: no cover - default
+        return True
+
+    def detect(self, spec: KernelSpec, traces: list[Trace] | None = None) -> Verdict:
+        raise NotImplementedError
+
+    def run(self, spec: KernelSpec, traces: list[Trace] | None = None) -> ToolResult:
+        """Support check + detection, packaged."""
+        if not self.supports(spec):
+            return ToolResult(self.name, spec.id, Verdict.UNSUPPORTED)
+        verdict = self.detect(spec, traces)
+        if not isinstance(verdict, Verdict):
+            raise TypeError(f"{self.name}.detect returned {verdict!r}")
+        return ToolResult(self.name, spec.id, verdict)

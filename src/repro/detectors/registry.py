@@ -1,0 +1,27 @@
+"""Tool metadata (Table 4) and detector construction."""
+
+from __future__ import annotations
+
+from repro.detectors.base import Detector
+from repro.detectors.inspector import IntelInspectorDetector
+from repro.detectors.llov import LLOVDetector
+from repro.detectors.romp import ROMPDetector
+from repro.detectors.tsan import ThreadSanitizerDetector
+
+#: Table 4: Data Race Detection Tool and Compiler Version.
+TOOL_VERSIONS: tuple[dict, ...] = (
+    {"tool": "ThreadSanitizer", "version": "10.0.0", "compiler": "Clang/LLVM 10.0.0"},
+    {"tool": "Intel Inspector", "version": "2021.1", "compiler": "Intel Compiler 2021.3.0"},
+    {"tool": "ROMP", "version": "20ac93c", "compiler": "GCC/gfortran 7.4.0"},
+    {"tool": "LLOV", "version": "N/A", "compiler": "Clang/LLVM 6.0.1"},
+)
+
+
+def build_tool_detectors() -> list[Detector]:
+    """The four non-LLM tools, in the paper's Table-5 row order."""
+    return [
+        LLOVDetector(),
+        IntelInspectorDetector(),
+        ROMPDetector(),
+        ThreadSanitizerDetector(),
+    ]

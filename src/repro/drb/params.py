@@ -1,0 +1,39 @@
+"""Shared parameter drawing for kernel templates.
+
+Evaluation and training kernels draw from *disjoint* name/size pools so
+the fine-tuning data can never contain an evaluation program verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_EVAL_ARRAYS = ("a", "b", "c", "x", "y", "z")
+_TRAIN_ARRAYS = ("u", "v", "w", "p", "q", "r")
+_EVAL_SCALARS = ("sum", "s", "t0")
+_TRAIN_SCALARS = ("acc", "tot", "val")
+_EVAL_SIZES = (48, 64, 80)
+_TRAIN_SIZES = (40, 56, 72)
+
+
+@dataclass
+class Params:
+    """Per-kernel random parameters drawn from the split's pools."""
+
+    rng: np.random.Generator
+    split: str  # "eval" | "train"
+
+    def __post_init__(self) -> None:
+        if self.split not in ("eval", "train"):
+            raise ValueError(f"unknown split {self.split!r}")
+        arrays = _EVAL_ARRAYS if self.split == "eval" else _TRAIN_ARRAYS
+        scalars = _EVAL_SCALARS if self.split == "eval" else _TRAIN_SCALARS
+        sizes = _EVAL_SIZES if self.split == "eval" else _TRAIN_SIZES
+        order = self.rng.permutation(len(arrays))
+        self.arr = [arrays[int(k)] for k in order]
+        self.sca = [scalars[int(k)] for k in self.rng.permutation(len(scalars))]
+        self.n = int(sizes[int(self.rng.integers(len(sizes)))])
+        self.k = int(self.rng.integers(1, 4))  # small dependence distance
+        self.c = int(self.rng.integers(2, 6))  # small constant multiplier

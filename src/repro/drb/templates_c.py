@@ -1,0 +1,564 @@
+"""C/C++ kernel templates for the 14 Table-3 categories.
+
+Each template maps :class:`~repro.drb.params.Params` to ``(source,
+features)``.  The label is fixed by the category (races by construction
+for the first seven, race-free for the rest); tests validate both via the
+machine's happens-before oracle.
+"""
+
+from __future__ import annotations
+
+from repro.drb.params import Params
+
+# -- race categories -----------------------------------------------------------
+
+
+def ud_loop_carried(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {a}[{p.n}], {x}[{p.n}];
+#pragma omp parallel for
+for (i = {p.k}; i < {p.n}; i++) {{
+  {a}[i] = {a}[i-{p.k}] + {x}[i];
+}}
+""",
+        frozenset({"parallel_for"}),
+    )
+
+
+def ud_indirect(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i;
+int idx[{p.n}];
+double {a}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  {a}[idx[i]] += {p.c};
+}}
+""",
+        frozenset({"parallel_for", "indirect"}),
+    )
+
+
+def ud_backward(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {a}[{p.n}], {b}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n} - {p.k}; i++) {{
+  {a}[i] = {a}[i+{p.k}] * {p.c};
+}}
+""",
+        frozenset({"parallel_for"}),
+    )
+
+
+def mds_shared_tmp(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    t = p.sca[0]
+    return (
+        f"""int i;
+double {t};
+double {a}[{p.n}], {x}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  {t} = {x}[i] * {p.c};
+  {a}[i] = {t};
+}}
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+def mds_shared_index(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i, j;
+double {a}[{2 * p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  j = i + {p.k};
+  {a}[j] = j * {p.c};
+}}
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+def msync_plain_sum(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  {s} += {x}[i];
+}}
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+def msync_region_counter(p: Params):
+    s = p.sca[0]
+    return (
+        f"""double {s};
+#pragma omp parallel
+{{
+  {s} = {s} + {p.c};
+}}
+""",
+        frozenset({"region", "shared_scalar"}),
+    )
+
+
+def msync_missing_barrier(p: Params):
+    a = p.arr[0]
+    b = p.arr[1]
+    return (
+        f"""double {a}[{p.n}], {b}[{p.n}];
+#pragma omp parallel
+{{
+  #pragma omp master
+  {a}[0] = {p.c};
+  {b}[1] = {a}[0];
+}}
+""",
+        frozenset({"region", "master"}),
+    )
+
+
+def simd_race_short(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i;
+double {a}[{p.n}];
+#pragma omp simd
+for (i = {p.k}; i < {p.n}; i++) {{
+  {a}[i] = {a}[i-{p.k}] + {p.c};
+}}
+""",
+        frozenset({"simd"}),
+    )
+
+
+def simd_race_safelen(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {a}[{p.n}], {b}[{p.n}];
+#pragma omp simd safelen(8)
+for (i = 4; i < {p.n}; i++) {{
+  {a}[i] = {a}[i-4] + {b}[i];
+}}
+""",
+        frozenset({"simd", "safelen"}),
+    )
+
+
+def acc_target_sum(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}];
+#pragma omp target teams distribute parallel for map(tofrom: {s})
+for (i = 0; i < {p.n}; i++) {{
+  {s} += {x}[i];
+}}
+""",
+        frozenset({"target", "shared_scalar"}),
+    )
+
+
+def acc_target_dependence(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i;
+double {a}[{p.n}];
+#pragma omp target teams distribute parallel for map(tofrom: {a})
+for (i = {p.k}; i < {p.n}; i++) {{
+  {a}[i] = {a}[i-{p.k}] * {p.c};
+}}
+""",
+        frozenset({"target"}),
+    )
+
+
+def ub_overlapping_writes(p: Params):
+    a = p.arr[0]
+    m = 4 + p.k
+    return (
+        f"""int i;
+double {a}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  {a}[i % {m}] = i * {p.c};
+}}
+""",
+        frozenset({"parallel_for", "modulo"}),
+    )
+
+
+def ub_scatter_read(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i;
+double {a}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  {a}[i] = {a}[(i * {p.c}) % {p.n}] + {p.k};
+}}
+""",
+        frozenset({"parallel_for", "modulo"}),
+    )
+
+
+def nk_stencil_race(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i;
+double {a}[{p.n}];
+#pragma omp parallel for
+for (i = 1; i < {p.n} - 1; i++) {{
+  {a}[i] = {a}[i-1] * {p.c} + {a}[i+1];
+}}
+""",
+        frozenset({"parallel_for", "stencil"}),
+    )
+
+
+def nk_norm_race(p: Params):
+    s, x, y = p.sca[0], p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}], {y}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  {s} += {x}[i] * {y}[i];
+}}
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+# -- race-free categories ----------------------------------------------------------
+
+
+def ste_single_writer(p: Params):
+    s = p.sca[0]
+    return (
+        f"""double {s};
+#pragma omp parallel
+{{
+  #pragma omp single
+  {s} = {p.c} + {p.k};
+}}
+""",
+        frozenset({"region", "single"}),
+    )
+
+
+def ste_master_writer(p: Params):
+    a = p.arr[0]
+    return (
+        f"""double {a}[{p.n}];
+#pragma omp parallel
+{{
+  #pragma omp master
+  {{
+    {a}[0] = {p.c};
+    {a}[1] = {p.c} + 1;
+  }}
+}}
+""",
+        frozenset({"region", "master"}),
+    )
+
+
+def ste_serial_loop(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i;
+double {a}[{p.n}];
+for (i = {p.k}; i < {p.n}; i++) {{
+  {a}[i] = {a}[i-{p.k}] + 1;
+}}
+""",
+        frozenset({"serial"}),
+    )
+
+
+def uds_private_tmp(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    t = p.sca[0]
+    return (
+        f"""int i;
+double {t};
+double {a}[{p.n}], {x}[{p.n}];
+#pragma omp parallel for private({t})
+for (i = 0; i < {p.n}; i++) {{
+  {t} = {x}[i] * {p.c};
+  {a}[i] = {t};
+}}
+""",
+        frozenset({"parallel_for", "private"}),
+    )
+
+
+def uds_firstprivate(p: Params):
+    a = p.arr[0]
+    t = p.sca[0]
+    return (
+        f"""int i;
+double {t};
+double {a}[{p.n}];
+{t} = {p.c};
+#pragma omp parallel for firstprivate({t})
+for (i = 0; i < {p.n}; i++) {{
+  {a}[i] = {t} + i;
+}}
+""",
+        frozenset({"parallel_for", "private"}),
+    )
+
+
+def usync_critical(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  #pragma omp critical
+  {{
+    {s} += {x}[i];
+  }}
+}}
+""",
+        frozenset({"parallel_for", "critical"}),
+    )
+
+
+def usync_atomic(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  #pragma omp atomic
+  {s} += {x}[i];
+}}
+""",
+        frozenset({"parallel_for", "atomic"}),
+    )
+
+
+def usync_barrier_phases(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""double {a}[{p.n}], {b}[{p.n}];
+#pragma omp parallel
+{{
+  #pragma omp master
+  {a}[0] = {p.c};
+  #pragma omp barrier
+  #pragma omp single
+  {b}[1] = {a}[0] * 2;
+}}
+""",
+        frozenset({"region", "barrier", "master", "single"}),
+    )
+
+
+def usimd_elementwise(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {a}[{p.n}], {b}[{p.n}];
+#pragma omp simd
+for (i = 0; i < {p.n}; i++) {{
+  {a}[i] = {b}[i] * {p.c};
+}}
+""",
+        frozenset({"simd"}),
+    )
+
+
+def usimd_long_distance(p: Params):
+    a = p.arr[0]
+    return (
+        f"""int i;
+double {a}[{p.n}];
+#pragma omp simd safelen(4)
+for (i = 4; i < {p.n}; i++) {{
+  {a}[i] = {a}[i-4] + {p.c};
+}}
+""",
+        frozenset({"simd", "safelen"}),
+    )
+
+
+def uacc_elementwise(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {a}[{p.n}], {b}[{p.n}];
+#pragma omp target teams distribute parallel for map(tofrom: {a})
+for (i = 0; i < {p.n}; i++) {{
+  {a}[i] = {b}[i] + {p.c};
+}}
+""",
+        frozenset({"target"}),
+    )
+
+
+def uacc_reduction(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}];
+#pragma omp target teams distribute parallel for reduction(+:{s})
+for (i = 0; i < {p.n}; i++) {{
+  {s} += {x}[i];
+}}
+""",
+        frozenset({"target", "reduction"}),
+    )
+
+
+def uslf_reduction(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}];
+#pragma omp parallel for reduction(+:{s})
+for (i = 0; i < {p.n}; i++) {{
+  {s} += {x}[i] * {p.c};
+}}
+""",
+        frozenset({"parallel_for", "reduction"}),
+    )
+
+
+def uslf_ordered(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""int i;
+double {s};
+double {x}[{p.n}];
+#pragma omp parallel for ordered
+for (i = 0; i < {p.n}; i++) {{
+  #pragma omp ordered
+  {{
+    {s} += {x}[i] * {p.c};
+  }}
+}}
+""",
+        frozenset({"parallel_for", "ordered"}),
+    )
+
+
+def nk_safe_stencil(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {a}[{p.n}], {b}[{p.n}];
+#pragma omp parallel for
+for (i = 1; i < {p.n} - 1; i++) {{
+  {b}[i] = {a}[i-1] + {a}[i+1];
+}}
+""",
+        frozenset({"parallel_for", "stencil"}),
+    )
+
+
+def nk_elementwise_fma(p: Params):
+    a, b, c = p.arr[0], p.arr[1], p.arr[2]
+    return (
+        f"""int i;
+double {a}[{p.n}], {b}[{p.n}], {c}[{p.n}];
+#pragma omp parallel for
+for (i = 0; i < {p.n}; i++) {{
+  {c}[i] = {a}[i] * {p.c} + {b}[i];
+}}
+""",
+        frozenset({"parallel_for"}),
+    )
+
+
+def nk_inner_serial(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    m = 6  # 6x6 tile: max flat index 35, below the smallest array size
+    return (
+        f"""int i, j;
+double {a}[{p.n}], {b}[{p.n}];
+#pragma omp parallel for private(j)
+for (i = 0; i < {m}; i++) {{
+  for (j = 0; j < {m}; j++) {{
+    {a}[i * {m} + j] = {b}[i * {m} + j] * {p.c};
+  }}
+}}
+""",
+        frozenset({"parallel_for", "nested_loop", "private"}),
+    )
+
+
+def ud_dynamic_carried(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    return (
+        f"""int i;
+double {a}[{p.n}], {x}[{p.n}];
+#pragma omp parallel for schedule(dynamic)
+for (i = {p.k}; i < {p.n}; i++) {{
+  {a}[i] = {a}[i-{p.k}] + {x}[i];
+}}
+""",
+        frozenset({"parallel_for", "dynamic"}),
+    )
+
+
+def nk_collapse_tile(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    m = 6
+    return (
+        f"""int i, j;
+double {a}[{p.n}], {b}[{p.n}];
+#pragma omp parallel for collapse(2)
+for (i = 0; i < {m}; i++) {{
+  for (j = 0; j < {m}; j++) {{
+    {a}[i * {m} + j] = {b}[i * {m} + j] + {p.c};
+  }}
+}}
+""",
+        frozenset({"parallel_for", "collapse", "nested_loop"}),
+    )
+
+
+#: category -> template functions.
+C_TEMPLATES: dict[str, list] = {
+    "Unresolvable dependencies": [ud_loop_carried, ud_indirect, ud_backward, ud_dynamic_carried],
+    "Missing data sharing clauses": [mds_shared_tmp, mds_shared_index],
+    "Missing synchronization": [msync_plain_sum, msync_region_counter, msync_missing_barrier],
+    "SIMD data races": [simd_race_short, simd_race_safelen],
+    "Accelerator data races": [acc_target_sum, acc_target_dependence],
+    "Undefined behavior": [ub_overlapping_writes, ub_scatter_read],
+    "Numerical kernel data races": [nk_stencil_race, nk_norm_race],
+    "Single thread execution": [ste_single_writer, ste_master_writer, ste_serial_loop],
+    "Use of data sharing clauses": [uds_private_tmp, uds_firstprivate],
+    "Use of synchronization": [usync_critical, usync_atomic, usync_barrier_phases],
+    "Use of SIMD directives": [usimd_elementwise, usimd_long_distance],
+    "Use of accelerator directives": [uacc_elementwise, uacc_reduction],
+    "Use of special language features": [uslf_reduction, uslf_ordered],
+    "Numerical kernels": [nk_safe_stencil, nk_elementwise_fma, nk_inner_serial, nk_collapse_tile],
+}

@@ -1,0 +1,586 @@
+"""Fortran kernel templates mirroring :mod:`repro.drb.templates_c`.
+
+Fortran is 1-indexed and the subset has no modulo operator, so the
+"Undefined behavior" category uses index-mirroring aliases instead of
+``%``-based overlap.
+"""
+
+from __future__ import annotations
+
+from repro.drb.params import Params
+
+# -- race categories -----------------------------------------------------------
+
+
+def ud_loop_carried(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {x}({p.n})
+!$omp parallel do
+do i = {p.k + 1}, {p.n}
+  {a}(i) = {a}(i-{p.k}) + {x}(i)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for"}),
+    )
+
+
+def ud_indirect(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+integer :: idx({p.n})
+real :: {a}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  {a}(idx(i)) = {a}(idx(i)) + {p.c}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "indirect"}),
+    )
+
+
+def ud_backward(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {b}({p.n})
+!$omp parallel do
+do i = 1, {p.n - p.k}
+  {a}(i) = {a}(i+{p.k}) * {p.c}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for"}),
+    )
+
+
+def mds_shared_tmp(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    t = p.sca[0]
+    return (
+        f"""integer :: i
+real :: {t}
+real :: {a}({p.n}), {x}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  {t} = {x}(i) * {p.c}
+  {a}(i) = {t}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+def mds_shared_index(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i, j
+real :: {a}({2 * p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  j = i + {p.k}
+  {a}(j) = j * {p.c}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+def msync_plain_sum(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  {s} = {s} + {x}(i)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+def msync_region_counter(p: Params):
+    s = p.sca[0]
+    return (
+        f"""real :: {s}
+!$omp parallel
+  {s} = {s} + {p.c}
+!$omp end parallel
+""",
+        frozenset({"region", "shared_scalar"}),
+    )
+
+
+def msync_missing_barrier(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""real :: {a}({p.n}), {b}({p.n})
+!$omp parallel
+!$omp master
+  {a}(1) = {p.c}
+!$omp end master
+  {b}(2) = {a}(1)
+!$omp end parallel
+""",
+        frozenset({"region", "master"}),
+    )
+
+
+def simd_race_short(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+real :: {a}({p.n})
+!$omp simd
+do i = {p.k + 1}, {p.n}
+  {a}(i) = {a}(i-{p.k}) + {p.c}
+end do
+!$omp end simd
+""",
+        frozenset({"simd"}),
+    )
+
+
+def simd_race_safelen(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {b}({p.n})
+!$omp simd safelen(8)
+do i = 5, {p.n}
+  {a}(i) = {a}(i-4) + {b}(i)
+end do
+!$omp end simd
+""",
+        frozenset({"simd", "safelen"}),
+    )
+
+
+def acc_target_sum(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n})
+!$omp target teams distribute parallel do map(tofrom: {s})
+do i = 1, {p.n}
+  {s} = {s} + {x}(i)
+end do
+!$omp end target teams distribute parallel do
+""",
+        frozenset({"target", "shared_scalar"}),
+    )
+
+
+def acc_target_dependence(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+real :: {a}({p.n})
+!$omp target teams distribute parallel do map(tofrom: {a})
+do i = {p.k + 1}, {p.n}
+  {a}(i) = {a}(i-{p.k}) * {p.c}
+end do
+!$omp end target teams distribute parallel do
+""",
+        frozenset({"target"}),
+    )
+
+
+def ub_mirror_write(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+real :: {a}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  {a}({p.n} + 1 - i) = {a}(i) * {p.c}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "mirror"}),
+    )
+
+
+def ub_mirror_read(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+real :: {a}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  {a}(i) = {a}({p.n} + 1 - i) * {p.c} + {p.k}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "mirror"}),
+    )
+
+
+def nk_stencil_race(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+real :: {a}({p.n})
+!$omp parallel do
+do i = 2, {p.n - 1}
+  {a}(i) = {a}(i-1) * {p.c} + {a}(i+1)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "stencil"}),
+    )
+
+
+def nk_norm_race(p: Params):
+    s, x, y = p.sca[0], p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n}), {y}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  {s} = {s} + {x}(i) * {y}(i)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "shared_scalar"}),
+    )
+
+
+# -- race-free categories ----------------------------------------------------------
+
+
+def ste_single_writer(p: Params):
+    s = p.sca[0]
+    return (
+        f"""real :: {s}
+!$omp parallel
+!$omp single
+  {s} = {p.c} + {p.k}
+!$omp end single
+!$omp end parallel
+""",
+        frozenset({"region", "single"}),
+    )
+
+
+def ste_master_writer(p: Params):
+    a = p.arr[0]
+    return (
+        f"""real :: {a}({p.n})
+!$omp parallel
+!$omp master
+  {a}(1) = {p.c}
+  {a}(2) = {p.c} + 1
+!$omp end master
+!$omp end parallel
+""",
+        frozenset({"region", "master"}),
+    )
+
+
+def ste_serial_loop(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+real :: {a}({p.n})
+do i = {p.k + 1}, {p.n}
+  {a}(i) = {a}(i-{p.k}) + 1
+end do
+""",
+        frozenset({"serial"}),
+    )
+
+
+def uds_private_tmp(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    t = p.sca[0]
+    return (
+        f"""integer :: i
+real :: {t}
+real :: {a}({p.n}), {x}({p.n})
+!$omp parallel do private({t})
+do i = 1, {p.n}
+  {t} = {x}(i) * {p.c}
+  {a}(i) = {t}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "private"}),
+    )
+
+
+def uds_firstprivate(p: Params):
+    a = p.arr[0]
+    t = p.sca[0]
+    return (
+        f"""integer :: i
+real :: {t}
+real :: {a}({p.n})
+{t} = {p.c}
+!$omp parallel do firstprivate({t})
+do i = 1, {p.n}
+  {a}(i) = {t} + i
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "private"}),
+    )
+
+
+def usync_critical(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+!$omp critical
+  {s} = {s} + {x}(i)
+!$omp end critical
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "critical"}),
+    )
+
+
+def usync_atomic(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+!$omp atomic
+  {s} = {s} + {x}(i)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "atomic"}),
+    )
+
+
+def usync_barrier_phases(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""real :: {a}({p.n}), {b}({p.n})
+!$omp parallel
+!$omp master
+  {a}(1) = {p.c}
+!$omp end master
+!$omp barrier
+!$omp single
+  {b}(2) = {a}(1) * 2
+!$omp end single
+!$omp end parallel
+""",
+        frozenset({"region", "barrier", "master", "single"}),
+    )
+
+
+def usimd_elementwise(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {b}({p.n})
+!$omp simd
+do i = 1, {p.n}
+  {a}(i) = {b}(i) * {p.c}
+end do
+!$omp end simd
+""",
+        frozenset({"simd"}),
+    )
+
+
+def usimd_long_distance(p: Params):
+    a = p.arr[0]
+    return (
+        f"""integer :: i
+real :: {a}({p.n})
+!$omp simd safelen(4)
+do i = 5, {p.n}
+  {a}(i) = {a}(i-4) + {p.c}
+end do
+!$omp end simd
+""",
+        frozenset({"simd", "safelen"}),
+    )
+
+
+def uacc_elementwise(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {b}({p.n})
+!$omp target teams distribute parallel do map(tofrom: {a})
+do i = 1, {p.n}
+  {a}(i) = {b}(i) + {p.c}
+end do
+!$omp end target teams distribute parallel do
+""",
+        frozenset({"target"}),
+    )
+
+
+def uacc_reduction(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n})
+!$omp target teams distribute parallel do reduction(+:{s})
+do i = 1, {p.n}
+  {s} = {s} + {x}(i)
+end do
+!$omp end target teams distribute parallel do
+""",
+        frozenset({"target", "reduction"}),
+    )
+
+
+def uslf_reduction(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n})
+!$omp parallel do reduction(+:{s})
+do i = 1, {p.n}
+  {s} = {s} + {x}(i) * {p.c}
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "reduction"}),
+    )
+
+
+def uslf_ordered(p: Params):
+    s, x = p.sca[0], p.arr[0]
+    return (
+        f"""integer :: i
+real :: {s}
+real :: {x}({p.n})
+!$omp parallel do ordered
+do i = 1, {p.n}
+!$omp ordered
+  {s} = {s} + {x}(i) * {p.c}
+!$omp end ordered
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "ordered"}),
+    )
+
+
+def nk_safe_stencil(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {b}({p.n})
+!$omp parallel do
+do i = 2, {p.n - 1}
+  {b}(i) = {a}(i-1) + {a}(i+1)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "stencil"}),
+    )
+
+
+def nk_elementwise_fma(p: Params):
+    a, b, c = p.arr[0], p.arr[1], p.arr[2]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {b}({p.n}), {c}({p.n})
+!$omp parallel do
+do i = 1, {p.n}
+  {c}(i) = {a}(i) * {p.c} + {b}(i)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for"}),
+    )
+
+
+def nk_inner_serial(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    m = 6
+    return (
+        f"""integer :: i, j
+real :: {a}({p.n}), {b}({p.n})
+!$omp parallel do private(j)
+do i = 1, {m}
+  do j = 1, {m}
+    {a}((i-1) * {m} + j) = {b}((i-1) * {m} + j) * {p.c}
+  end do
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "nested_loop", "private"}),
+    )
+
+
+def ud_dynamic_carried(p: Params):
+    a, x = p.arr[0], p.arr[1]
+    return (
+        f"""integer :: i
+real :: {a}({p.n}), {x}({p.n})
+!$omp parallel do schedule(dynamic)
+do i = {p.k + 1}, {p.n}
+  {a}(i) = {a}(i-{p.k}) + {x}(i)
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "dynamic"}),
+    )
+
+
+def nk_collapse_tile(p: Params):
+    a, b = p.arr[0], p.arr[1]
+    m = 6
+    return (
+        f"""integer :: i, j
+real :: {a}({p.n}), {b}({p.n})
+!$omp parallel do collapse(2)
+do i = 1, {m}
+  do j = 1, {m}
+    {a}((i-1) * {m} + j) = {b}((i-1) * {m} + j) + {p.c}
+  end do
+end do
+!$omp end parallel do
+""",
+        frozenset({"parallel_for", "collapse", "nested_loop"}),
+    )
+
+
+#: category -> template functions.
+F_TEMPLATES: dict[str, list] = {
+    "Unresolvable dependencies": [ud_loop_carried, ud_indirect, ud_backward, ud_dynamic_carried],
+    "Missing data sharing clauses": [mds_shared_tmp, mds_shared_index],
+    "Missing synchronization": [msync_plain_sum, msync_region_counter, msync_missing_barrier],
+    "SIMD data races": [simd_race_short, simd_race_safelen],
+    "Accelerator data races": [acc_target_sum, acc_target_dependence],
+    "Undefined behavior": [ub_mirror_write, ub_mirror_read],
+    "Numerical kernel data races": [nk_stencil_race, nk_norm_race],
+    "Single thread execution": [ste_single_writer, ste_master_writer, ste_serial_loop],
+    "Use of data sharing clauses": [uds_private_tmp, uds_firstprivate],
+    "Use of synchronization": [usync_critical, usync_atomic, usync_barrier_phases],
+    "Use of SIMD directives": [usimd_elementwise, usimd_long_distance],
+    "Use of accelerator directives": [uacc_elementwise, uacc_reduction],
+    "Use of special language features": [uslf_reduction, uslf_ordered],
+    "Numerical kernels": [nk_safe_stencil, nk_elementwise_fma, nk_inner_serial, nk_collapse_tile],
+}

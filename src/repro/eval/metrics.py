@@ -1,0 +1,95 @@
+"""§4.5 metrics: confusion counts, Recall, Specificity, Precision,
+Accuracy, TSR, F1, and adjusted F1 (F1 x TSR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detectors.base import ToolResult, Verdict
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """TP/FP/TN/FN over the *supported* subset, plus support accounting."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+    unsupported: int
+
+    @property
+    def supported(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def total(self) -> int:
+        return self.supported + self.unsupported
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One Table-5 row."""
+
+    tool: str
+    language: str
+    counts: ConfusionCounts
+    recall: float
+    specificity: float
+    precision: float
+    accuracy: float
+    tsr: float
+    f1: float
+    adjusted_f1: float
+
+
+def _safe_div(a: float, b: float) -> float:
+    return a / b if b else 0.0
+
+
+def confusion_from_results(
+    results: list[ToolResult], labels: dict[str, str]
+) -> ConfusionCounts:
+    """Tabulate tool verdicts against ground truth ("yes" = race)."""
+    tp = fp = tn = fn = unsupported = 0
+    for r in results:
+        truth = labels[r.program_id]
+        if r.verdict is Verdict.UNSUPPORTED:
+            unsupported += 1
+        elif r.verdict is Verdict.RACE:
+            if truth == "yes":
+                tp += 1
+            else:
+                fp += 1
+        else:
+            if truth == "yes":
+                fn += 1
+            else:
+                tn += 1
+    return ConfusionCounts(tp, fp, tn, fn, unsupported)
+
+
+def compute_metrics(
+    tool: str, language: str, results: list[ToolResult], labels: dict[str, str]
+) -> MetricRow:
+    """Compute the full §4.5 metric set for one tool on one language."""
+    c = confusion_from_results(results, labels)
+    recall = _safe_div(c.tp, c.tp + c.fn)
+    specificity = _safe_div(c.tn, c.tn + c.fp)
+    precision = _safe_div(c.tp, c.tp + c.fp)
+    accuracy = _safe_div(c.tp + c.tn, c.supported)
+    tsr = _safe_div(c.supported, c.total)
+    f1 = _safe_div(2 * precision * recall, precision + recall)
+    return MetricRow(
+        tool=tool,
+        language=language,
+        counts=c,
+        recall=recall,
+        specificity=specificity,
+        precision=precision,
+        accuracy=accuracy,
+        tsr=tsr,
+        f1=f1,
+        adjusted_f1=f1 * tsr,
+    )

@@ -1,0 +1,94 @@
+"""Instruction dataset -> padded token batches.
+
+Each record is rendered through :class:`repro.llm.chat.ChatFormat`
+(prompt tokens masked with ``ignore_index``).  Sequences longer than the
+model context are *left*-truncated — the end of the prompt (the question
+plus the tail of the code) and the supervised answer are what matter.
+Batches are right-padded; pad positions carry ``ignore_index`` targets,
+so no attention mask is needed in a causal model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.schema import InstructionRecord
+from repro.llm.chat import ChatFormat
+from repro.tokenizer import BPETokenizer
+
+
+@dataclass(frozen=True)
+class SFTBatch:
+    """One training batch."""
+
+    ids: np.ndarray  # (B, T) int64
+    targets: np.ndarray  # (B, T) int64 with ignore_index masking
+
+    @property
+    def n_supervised(self) -> int:
+        return int((self.targets != -100).sum())
+
+
+class SFTDataset:
+    """Tokenised instruction dataset with deterministic batching."""
+
+    def __init__(
+        self,
+        records: list[InstructionRecord],
+        tokenizer: BPETokenizer,
+        max_seq_len: int,
+        ignore_index: int = -100,
+    ) -> None:
+        if not records:
+            raise ValueError("empty SFT dataset")
+        if max_seq_len < 8:
+            raise ValueError("max_seq_len too small")
+        self.tokenizer = tokenizer
+        self.max_seq_len = max_seq_len
+        self.ignore_index = ignore_index
+        chat = ChatFormat(tokenizer, ignore_index=ignore_index)
+        self.examples: list[tuple[np.ndarray, np.ndarray]] = []
+        for rec in records:
+            ids, targets = chat.example_ids(rec.instruction, rec.output, rec.input)
+            if len(ids) > max_seq_len:
+                # Left-truncate, but never cut into the supervised span.
+                first_supervised = int(np.argmax(targets != ignore_index))
+                cut = len(ids) - max_seq_len
+                if cut > first_supervised:
+                    cut = first_supervised
+                ids = ids[cut:]
+                targets = targets[cut:]
+                if len(ids) > max_seq_len:  # answer alone exceeds context
+                    ids = ids[:max_seq_len]
+                    targets = targets[:max_seq_len]
+            if (targets != ignore_index).sum() == 0:
+                continue  # nothing supervised survived truncation
+            self.examples.append((ids, targets))
+        if not self.examples:
+            raise ValueError("no usable examples after truncation")
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def batches(
+        self,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        pad_id: int = 0,
+    ):
+        """Yield :class:`SFTBatch` covering the dataset once; ``rng``
+        shuffles example order."""
+        order = np.arange(len(self.examples))
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = [self.examples[i] for i in order[start : start + batch_size]]
+            width = max(len(ids) for ids, _ in chunk)
+            ids = np.full((len(chunk), width), pad_id, dtype=np.int64)
+            targets = np.full((len(chunk), width), self.ignore_index, dtype=np.int64)
+            for k, (ex_ids, ex_targets) in enumerate(chunk):
+                ids[k, : len(ex_ids)] = ex_ids
+                targets[k, : len(ex_targets)] = ex_targets
+            yield SFTBatch(ids, targets)

@@ -1,0 +1,44 @@
+"""HPC knowledge corpus — the raw data of the paper's §4.2.
+
+The paper collects unstructured data (PLP papers, MLPerf papers) and
+structured data (CodeXGLUE-style task tables, the MLPerf v3.0 results
+spreadsheet).  We synthesise equivalents:
+
+* :mod:`repro.knowledge.plp_catalog` — a catalog of PLP tasks, datasets,
+  models, and languages covering the 13 categories of Table 2, anchored
+  on the real facts the paper quotes (CodeTrans, POJ-104/CodeBERT,
+  Devign, Bugs2Fix);
+* :mod:`repro.knowledge.mlperf` — an MLPerf-results-style table
+  (Submitter / System / Processor / Accelerator / Software), anchored on
+  the paper's dgxh100_n64 example;
+* :mod:`repro.knowledge.corpus` — the Figure-2 transformation of
+  structured rows into unstructured sentences (slot-filling templates and
+  attribute concatenation), plus document assembly;
+* :mod:`repro.knowledge.documents` — synthetic unstructured paper-like
+  paragraphs.
+"""
+
+from repro.knowledge.plp_catalog import PLP_CATEGORIES, PLPEntry, build_plp_catalog
+from repro.knowledge.mlperf import MLPERF_FIELDS, MLPerfRow, build_mlperf_table
+from repro.knowledge.corpus import (
+    KnowledgeChunk,
+    attribute_concat,
+    build_knowledge_base,
+    slot_fill,
+)
+from repro.knowledge.documents import build_plp_documents, build_mlperf_documents
+
+__all__ = [
+    "PLP_CATEGORIES",
+    "PLPEntry",
+    "build_plp_catalog",
+    "MLPERF_FIELDS",
+    "MLPerfRow",
+    "build_mlperf_table",
+    "KnowledgeChunk",
+    "attribute_concat",
+    "build_knowledge_base",
+    "slot_fill",
+    "build_plp_documents",
+    "build_mlperf_documents",
+]

@@ -1,0 +1,100 @@
+"""Autoregressive decoding: greedy and temperature/top-k sampling with a
+KV cache so each new token costs one forward step over one position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.model import CausalLM
+from repro.tensor import no_grad
+from repro.tokenizer import BPETokenizer
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Decoding hyper-parameters."""
+
+    max_new_tokens: int = 32
+    temperature: float = 0.0  # 0 => greedy
+    top_k: int = 0  # 0 => no top-k filtering
+    stop_at_eos: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        if self.temperature < 0:
+            raise ValueError("temperature must be >= 0")
+
+
+def _sample_from_logits(
+    logits: np.ndarray, config: GenerationConfig, rng: np.random.Generator | None
+) -> int:
+    if config.temperature == 0.0:
+        return int(np.argmax(logits))
+    scaled = logits / config.temperature
+    if config.top_k > 0 and config.top_k < scaled.size:
+        kth = np.partition(scaled, -config.top_k)[-config.top_k]
+        scaled = np.where(scaled >= kth, scaled, -np.inf)
+    scaled = scaled - scaled.max()
+    probs = np.exp(scaled)
+    probs /= probs.sum()
+    if rng is None:
+        raise ValueError("sampling requires an rng when temperature > 0")
+    return int(rng.choice(probs.size, p=probs))
+
+
+def generate(
+    model: CausalLM,
+    tokenizer: BPETokenizer,
+    prompt_ids: list[int],
+    config: GenerationConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[int]:
+    """Generate a continuation for ``prompt_ids``; returns only the new ids.
+
+    The prompt is processed in a single batched forward (prefill), then
+    tokens decode one at a time against the KV cache.
+    """
+    config = config or GenerationConfig()
+    if not prompt_ids:
+        raise ValueError("empty prompt")
+    max_ctx = model.config.max_seq_len
+    if len(prompt_ids) >= max_ctx:
+        # Keep the most recent context window; the HPC-GPT token-limit
+        # experiments rely on the *tokenizer-level* budget instead, so
+        # this path is a safety net.
+        prompt_ids = prompt_ids[-(max_ctx - config.max_new_tokens - 1):]
+
+    model.eval()
+    eos = tokenizer.special.eos_id
+    out: list[int] = []
+    with no_grad():
+        caches = model.new_caches()
+        logits = model.forward(np.asarray(prompt_ids), caches=caches)
+        step_logits = logits.numpy()[0, -1]
+        for _ in range(config.max_new_tokens):
+            nxt = _sample_from_logits(step_logits, config, rng)
+            if config.stop_at_eos and nxt == eos:
+                break
+            out.append(nxt)
+            if caches[0].length + 1 >= max_ctx:
+                break
+            logits = model.forward(np.asarray([nxt]), caches=caches)
+            step_logits = logits.numpy()[0, -1]
+    return out
+
+
+def generate_text(
+    model: CausalLM,
+    tokenizer: BPETokenizer,
+    prompt: str,
+    config: GenerationConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Convenience wrapper: string in, decoded continuation out."""
+    ids = tokenizer.encode(prompt, bos=True)
+    new_ids = generate(model, tokenizer, ids, config=config, rng=rng)
+    return tokenizer.decode(new_ids)

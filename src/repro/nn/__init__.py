@@ -1,0 +1,45 @@
+"""Neural-network layer library over :mod:`repro.tensor`.
+
+Provides the modules a LLaMA-architecture causal LM needs (token
+embedding, RMSNorm, rotary-position multi-head attention, SwiGLU MLP),
+plus LoRA adapters for parameter-efficient fine-tuning, AdamW/SGD
+optimizers, LR schedules, and checkpoint (de)serialization.
+"""
+
+from repro.nn.module import Module, Parameter, ParameterDict
+from repro.nn.layers import Embedding, Linear, RMSNorm
+from repro.nn.attention import MultiHeadAttention, RotaryEmbedding, causal_mask
+from repro.nn.transformer import SwiGLU, TransformerBlock
+from repro.nn.lora import LoRAConfig, LoRALinear, apply_lora, lora_state, merge_lora
+from repro.nn.optim import SGD, AdamW, GradClipper, Optimizer
+from repro.nn.schedule import ConstantLR, CosineLR, LinearWarmupCosine
+from repro.nn.serialization import load_state, save_state, state_dict_to_bytes
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ParameterDict",
+    "Embedding",
+    "Linear",
+    "RMSNorm",
+    "MultiHeadAttention",
+    "RotaryEmbedding",
+    "causal_mask",
+    "SwiGLU",
+    "TransformerBlock",
+    "LoRAConfig",
+    "LoRALinear",
+    "apply_lora",
+    "lora_state",
+    "merge_lora",
+    "Optimizer",
+    "SGD",
+    "AdamW",
+    "GradClipper",
+    "ConstantLR",
+    "CosineLR",
+    "LinearWarmupCosine",
+    "save_state",
+    "load_state",
+    "state_dict_to_bytes",
+]

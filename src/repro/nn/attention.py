@@ -1,0 +1,156 @@
+"""Multi-head self-attention with rotary position embeddings (RoPE).
+
+This matches the LLaMA attention layout: no biases, RoPE applied to the
+query/key halves pairwise, causal additive mask, and an optional KV cache
+for incremental decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, softmax
+
+NEG_INF = np.float32(-1e9)
+
+
+def causal_mask(q_len: int, k_len: int | None = None, offset: int = 0) -> np.ndarray:
+    """Additive causal mask of shape ``(q_len, k_len)``.
+
+    Query position ``i`` (absolute position ``offset + i``) may attend to
+    key positions ``<= offset + i``.  Entries are 0 where attention is
+    allowed and ``-1e9`` where it is blocked.
+    """
+    k_len = q_len + offset if k_len is None else k_len
+    qpos = np.arange(q_len)[:, None] + offset
+    kpos = np.arange(k_len)[None, :]
+    return np.where(kpos <= qpos, np.float32(0.0), NEG_INF)
+
+
+class RotaryEmbedding:
+    """Precomputed RoPE cos/sin tables.
+
+    RoPE rotates each consecutive pair of channels by a position-dependent
+    angle; relative offsets then appear as phase differences inside the
+    attention dot product.
+    """
+
+    def __init__(self, head_dim: int, max_seq_len: int, base: float = 10000.0) -> None:
+        if head_dim % 2 != 0:
+            raise ValueError("RoPE requires an even head dimension")
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        inv_freq = 1.0 / (base ** (np.arange(0, head_dim, 2) / head_dim))
+        t = np.arange(max_seq_len)
+        freqs = np.outer(t, inv_freq)  # (T, head_dim/2)
+        self.cos = np.cos(freqs).astype(np.float32)
+        self.sin = np.sin(freqs).astype(np.float32)
+
+    def rotate(self, x: Tensor, offset: int = 0) -> Tensor:
+        """Apply the rotation to ``x`` of shape (B, H, T, head_dim) whose
+        first token sits at absolute position ``offset``."""
+        from repro.tensor.ops import rope_rotate
+
+        t = x.shape[2]
+        if offset + t > self.max_seq_len:
+            raise ValueError(
+                f"sequence of length {offset + t} exceeds RoPE table ({self.max_seq_len})"
+            )
+        return rope_rotate(x, self.cos[offset : offset + t], self.sin[offset : offset + t])
+
+
+class KVCache:
+    """Per-layer accumulated keys/values for incremental decoding.
+
+    Arrays are plain NumPy (generation runs under ``no_grad``) of shape
+    (B, H, T_total, head_dim).
+    """
+
+    def __init__(self) -> None:
+        self.k: np.ndarray | None = None
+        self.v: np.ndarray | None = None
+
+    @property
+    def length(self) -> int:
+        return 0 if self.k is None else self.k.shape[2]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.k is None:
+            self.k, self.v = k, v
+        else:
+            self.k = np.concatenate([self.k, k], axis=2)
+            self.v = np.concatenate([self.v, v], axis=2)
+        return self.k, self.v
+
+
+class MultiHeadAttention(Module):
+    """LLaMA-style causal self-attention."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.wq = Linear(dim, dim, rng)
+        self.wk = Linear(dim, dim, rng)
+        self.wv = Linear(dim, dim, rng)
+        self.wo = Linear(dim, dim, rng)
+
+    def _split_heads(self, x: Tensor, b: int, t: int) -> Tensor:
+        return x.reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(
+        self,
+        x: Tensor,
+        rope: RotaryEmbedding,
+        cache: KVCache | None = None,
+        attn_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend within a (batched) sequence.
+
+        Parameters
+        ----------
+        x:
+            (B, T, D) activations.
+        rope:
+            Rotary table shared across layers.
+        cache:
+            If given, keys/values are appended and attention covers the
+            full cached history (incremental decoding).
+        attn_mask:
+            Optional additive mask overriding the default causal mask,
+            shape broadcastable to (B, H, T_q, T_k).  Used to mask padding.
+        """
+        b, t, _ = x.shape
+        offset = cache.length if cache is not None else 0
+
+        q = self._split_heads(self.wq(x), b, t)
+        k = self._split_heads(self.wk(x), b, t)
+        v = self._split_heads(self.wv(x), b, t)
+
+        q = rope.rotate(q, offset=offset)
+        k = rope.rotate(k, offset=offset)
+
+        if cache is not None:
+            k_all, v_all = cache.append(k.numpy(), v.numpy())
+            k = Tensor(k_all)
+            v = Tensor(v_all)
+
+        scale = np.float32(1.0 / np.sqrt(self.head_dim))
+        scores = (q @ k.swapaxes(-1, -2)) * scale  # (B, H, T, T_k)
+        if attn_mask is None:
+            attn_mask = causal_mask(t, k.shape[2], offset=offset)[None, None, :, :]
+        scores = scores + Tensor(attn_mask)
+        probs = softmax(scores, axis=-1)
+        ctx = probs @ v  # (B, H, T, head_dim)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(b, t, self.dim)
+        return self.wo(ctx)

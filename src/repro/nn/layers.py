@@ -1,0 +1,77 @@
+"""Basic layers: Linear, Embedding, RMSNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, embedding, rms_norm
+
+
+class Linear(Module):
+    """Affine map ``x @ W^T + b``.
+
+    Weights use scaled-Gaussian init (std = 1/sqrt(fan_in)), the LLaMA
+    convention; bias defaults off, as in LLaMA projections.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = False,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(
+            (rng.standard_normal((out_features, in_features)) * scale).astype(np.float32),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}->{self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            (rng.standard_normal((num_embeddings, dim)) * 0.02).astype(np.float32),
+            name="weight",
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return embedding(self.weight, ids)
+
+
+class RMSNorm(Module):
+    """LLaMA's RMS normalisation with a learned per-channel gain."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32), name="weight")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return rms_norm(x, self.weight, eps=self.eps)

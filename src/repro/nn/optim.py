@@ -1,0 +1,117 @@
+"""Optimizers: SGD (momentum) and AdamW, plus global-norm grad clipping.
+
+AdamW follows Loshchilov & Hutter's decoupled weight decay, the standard
+recipe for LLM fine-tuning (and what HuggingFace `Trainer` — the paper's
+stack — uses by default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class; subclasses implement :meth:`step`."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer got no trainable parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 2e-5,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0 <= b1 < 1 and 0 <= b2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.betas
+        bc1 = 1.0 - b1 ** self.t
+        bc2 = 1.0 - b2 ** self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * (g * g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class GradClipper:
+    """Clip gradients to a maximum global L2 norm (training stability)."""
+
+    def __init__(self, max_norm: float = 1.0) -> None:
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def clip(self, params: list[Parameter]) -> float:
+        """Scale all grads in place if needed; returns the pre-clip norm."""
+        total = 0.0
+        grads = [p.grad for p in params if p.grad is not None]
+        for g in grads:
+            total += float((g.astype(np.float64) ** 2).sum())
+        norm = float(np.sqrt(total))
+        if norm > self.max_norm and norm > 0:
+            scale = self.max_norm / norm
+            for g in grads:
+                g *= scale
+        return norm

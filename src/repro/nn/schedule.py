@@ -1,0 +1,51 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+
+class ConstantLR:
+    """Fixed learning rate (the paper trains at a constant 2e-5)."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class CosineLR:
+    """Cosine decay from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.lr = lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def __call__(self, step: int) -> float:
+        frac = min(max(step, 0), self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1 + math.cos(math.pi * frac))
+
+
+class LinearWarmupCosine:
+    """Linear warmup to ``lr`` then cosine decay — the standard SFT shape."""
+
+    def __init__(
+        self, lr: float, warmup_steps: int, total_steps: int, min_lr: float = 0.0
+    ) -> None:
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.lr = lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.lr * (step + 1) / max(self.warmup_steps, 1)
+        frac = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        frac = min(frac, 1.0)
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1 + math.cos(math.pi * frac))

@@ -1,0 +1,52 @@
+"""Checkpoint (de)serialization for Module state dicts.
+
+Uses ``numpy.savez_compressed`` — self-describing, portable, and safe to
+load (no pickle of arbitrary objects beyond arrays).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(model: Module, path: str | os.PathLike, extra: dict | None = None) -> None:
+    """Persist ``model.state_dict()`` (plus optional scalar metadata) to
+    ``path`` as a compressed npz archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(model.state_dict())
+    for k, v in (extra or {}).items():
+        key = f"__meta__{k}"
+        if key in payload:
+            raise ValueError(f"metadata key collides with parameter: {k}")
+        payload[key] = np.asarray(v)
+    np.savez_compressed(path, **payload)
+
+
+def load_state(model: Module, path: str | os.PathLike, strict: bool = True) -> dict:
+    """Load a checkpoint produced by :func:`save_state` into ``model``;
+    returns the metadata dict."""
+    with np.load(path, allow_pickle=False) as npz:
+        state = {}
+        meta = {}
+        for key in npz.files:
+            if key.startswith("__meta__"):
+                meta[key[len("__meta__"):]] = npz[key]
+            else:
+                state[key] = npz[key]
+    model.load_state_dict(state, strict=strict)
+    return meta
+
+
+def state_dict_to_bytes(model: Module) -> bytes:
+    """Serialise the state dict to bytes (used by the serve API to report
+    model size and by tests for round-trip checks)."""
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **model.state_dict())
+    return buf.getvalue()

@@ -1,0 +1,24 @@
+"""HPC Ontology baseline (Liao et al., MLHPC'21) — Task 1's non-LLM
+comparator.
+
+A small OWL-flavoured triple store with a SPARQL-subset query engine.
+The ontology answers exactly and only the question shapes for which a
+hand-written SPARQL template exists — reproducing the paper's point that
+the ontology is accurate but "requires manual effort to write SPARQL
+queries for different questions", i.e. it does not scale to free-form
+phrasing the way HPC-GPT does.
+"""
+
+from repro.ontology.triples import Triple
+from repro.ontology.store import TripleStore
+from repro.ontology.sparql import SparqlError, parse_query, run_query
+from repro.ontology.hpc_ontology import HPCOntology
+
+__all__ = [
+    "Triple",
+    "TripleStore",
+    "SparqlError",
+    "parse_query",
+    "run_query",
+    "HPCOntology",
+]

@@ -1,0 +1,148 @@
+"""The HPC ontology itself: triples built from the Task-1 knowledge base
+plus the hand-written SPARQL templates that make it answer questions.
+
+The baseline's defining limitation (per the paper) is that each question
+*shape* needs a manually authored query.  :meth:`HPCOntology.answer`
+therefore only recognises a fixed set of regex-dispatched shapes; outside
+them it returns ``None`` ("the ontology cannot answer"), while HPC-GPT
+handles free-form phrasing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.knowledge.mlperf import MLPERF_FIELDS, MLPerfRow
+from repro.knowledge.plp_catalog import PLPEntry
+from repro.ontology.sparql import run_query
+from repro.ontology.store import TripleStore
+
+_PRED = {
+    "Task": "hpc:task",
+    "Category": "hpc:category",
+    "Dataset Name": "hpc:dataset",
+    "Language": "hpc:language",
+    "Baseline": "hpc:baseline",
+    "Metric": "hpc:metric",
+    "Source Language": "hpc:sourceLanguage",
+    "Target Language": "hpc:targetLanguage",
+    "Submitter": "hpc:submitter",
+    "System": "hpc:system",
+    "Processor": "hpc:processor",
+    "Accelerator": "hpc:accelerator",
+    "Software": "hpc:software",
+    "Benchmark": "hpc:benchmark",
+}
+
+
+def build_store(
+    plp_catalog: list[PLPEntry], mlperf_table: list[MLPerfRow]
+) -> TripleStore:
+    """Assert the catalog and results table as typed individuals."""
+    store = TripleStore()
+    for i, e in enumerate(plp_catalog):
+        node = f"hpc:plp{i}"
+        store.assert_fact(node, "rdf:type", "hpc:PLPTask")
+        store.assert_fact(node, _PRED["Task"], e.task)
+        store.assert_fact(node, _PRED["Category"], e.category)
+        store.assert_fact(node, _PRED["Dataset Name"], e.dataset)
+        store.assert_fact(node, _PRED["Language"], e.language)
+        store.assert_fact(node, _PRED["Baseline"], e.baseline)
+        store.assert_fact(node, _PRED["Metric"], e.metric)
+        if e.source_language:
+            store.assert_fact(node, _PRED["Source Language"], e.source_language)
+            store.assert_fact(node, _PRED["Target Language"], e.target_language)
+    for i, r in enumerate(mlperf_table):
+        node = f"hpc:mlperf{i}"
+        store.assert_fact(node, "rdf:type", "hpc:MLPerfSubmission")
+        for name in MLPERF_FIELDS:
+            store.assert_fact(node, _PRED[name], r.field(name))
+        store.assert_fact(node, _PRED["Benchmark"], r.benchmark)
+    return store
+
+
+class HPCOntology:
+    """The queryable ontology with its fixed question templates."""
+
+    def __init__(self, plp_catalog: list[PLPEntry], mlperf_table: list[MLPerfRow]) -> None:
+        self.store = build_store(plp_catalog, mlperf_table)
+
+    # -- raw SPARQL access -------------------------------------------------
+
+    def query(self, sparql: str) -> list[dict[str, str]]:
+        return run_query(self.store, sparql)
+
+    # -- hand-written question templates -------------------------------------
+    #
+    # Each entry maps a regex over the NL question to a SPARQL template.
+    # This mirrors the manual authoring cost the paper criticises.
+
+    _TEMPLATES: tuple[tuple[re.Pattern, str, str], ...] = (
+        (
+            re.compile(
+                r"dataset .*code translation.*source language is (?P<src>[\w#+]+) and the target language is (?P<dst>[\w#+]+)",
+                re.IGNORECASE,
+            ),
+            'SELECT ?d WHERE { ?e hpc:sourceLanguage "{src}" . '
+            '?e hpc:targetLanguage "{dst}" . ?e hpc:dataset ?d . }',
+            "?d",
+        ),
+        (
+            re.compile(
+                r"dataset .*language is (?P<lang>[\w/+#]+) and the baseline is (?P<model>[\w-]+)",
+                re.IGNORECASE,
+            ),
+            'SELECT ?d WHERE { ?e hpc:language "{lang}" . '
+            '?e hpc:baseline "{model}" . ?e hpc:dataset ?d . }',
+            "?d",
+        ),
+        (
+            re.compile(
+                r"what is the system if the accelerator used is (?P<accel>[\w()./ +-]+?) and the software used is (?P<sw>[\w()./ +-]+?)\s*\?",
+                re.IGNORECASE,
+            ),
+            'SELECT ?s WHERE { ?e hpc:accelerator "{accel}" . '
+            '?e hpc:software "{sw}" . ?e hpc:system ?s . }',
+            "?s",
+        ),
+        (
+            re.compile(
+                r"what is the (?P<field>submitter|processor|accelerator|software) if the system is (?P<system>[\w()./ +-]+?)\s*\?",
+                re.IGNORECASE,
+            ),
+            'SELECT ?x WHERE { ?e hpc:system "{system}" . ?e hpc:{field} ?x . }',
+            "?x",
+        ),
+        (
+            re.compile(
+                r"baseline .*dataset is (?P<dataset>[\w()./ +-]+?)\s*\?",
+                re.IGNORECASE,
+            ),
+            'SELECT ?b WHERE { ?e hpc:dataset "{dataset}" . ?e hpc:baseline ?b . }',
+            "?b",
+        ),
+    )
+
+    def answer(self, question: str) -> str | None:
+        """Answer ``question`` iff a hand-written template matches.
+
+        Returns the first binding's value (the paper's examples yield a
+        single entity, e.g. ``"CodeTrans dataset"`` / ``"dgxh100_n64"``),
+        or ``None`` when no template applies — the scalability limitation
+        HPC-GPT addresses.
+        """
+        q = " ".join(question.split())
+        for regex, template, var in self._TEMPLATES:
+            m = regex.search(q)
+            if not m:
+                continue
+            sparql = template
+            for key, value in m.groupdict().items():
+                field = value.strip()
+                if key == "field":
+                    field = field.lower()
+                sparql = sparql.replace("{" + key + "}", field)
+            rows = self.query(sparql)
+            if rows:
+                return rows[0][var]
+        return None

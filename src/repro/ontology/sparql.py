@@ -1,0 +1,181 @@
+"""A SPARQL-subset query engine.
+
+Supports the shape the HPC-Ontology paper's queries take::
+
+    SELECT ?dataset WHERE {
+        ?e hpc:category "Code Translation" .
+        ?e hpc:sourceLanguage "Java" .
+        ?e hpc:dataset ?dataset .
+    }
+
+Grammar: ``SELECT ?v1 [?v2 ...] WHERE { pattern ("." pattern)* [.] }``
+where each pattern is three terms, a term being a variable (``?name``),
+a prefixed IRI (``hpc:dataset``), or a quoted literal.  Evaluation is a
+left-deep join of basic graph patterns against the
+:class:`~repro.ontology.store.TripleStore` indexes, most-selective-first.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ontology.store import TripleStore
+
+
+class SparqlError(ValueError):
+    """Raised on malformed queries."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        "(?:[^"\\]|\\.)*"        # quoted literal
+      | \?[A-Za-z_][A-Za-z0-9_]* # variable
+      | [A-Za-z_][\w:+./#()\-]*  # IRI / keyword
+      | [{}.]                    # punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(query: str) -> list[str]:
+    out: list[str] = []
+    pos = 0
+    while pos < len(query):
+        m = _TOKEN_RE.match(query, pos)
+        if m is None:
+            rest = query[pos:].strip()
+            if not rest:
+                break
+            raise SparqlError(f"cannot tokenize near: {rest[:30]!r}")
+        out.append(m.group(1))
+        pos = m.end()
+    return out
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One basic graph pattern; variables start with '?'."""
+
+    subject: str
+    predicate: str
+    obj: str
+
+    def terms(self) -> tuple[str, str, str]:
+        return (self.subject, self.predicate, self.obj)
+
+    def variables(self) -> set[str]:
+        return {t for t in self.terms() if t.startswith("?")}
+
+
+@dataclass(frozen=True)
+class Query:
+    select: tuple[str, ...]
+    patterns: tuple[Pattern, ...]
+
+
+def _unquote(term: str) -> str:
+    if term.startswith('"') and term.endswith('"'):
+        return term[1:-1].replace('\\"', '"')
+    return term
+
+
+def parse_query(text: str) -> Query:
+    """Parse the SPARQL subset into a :class:`Query`."""
+    tokens = _tokenize(text)
+    if not tokens or tokens[0].upper() != "SELECT":
+        raise SparqlError("query must start with SELECT")
+    i = 1
+    select: list[str] = []
+    while i < len(tokens) and tokens[i].startswith("?"):
+        select.append(tokens[i])
+        i += 1
+    if not select:
+        raise SparqlError("SELECT needs at least one variable")
+    if i >= len(tokens) or tokens[i].upper() != "WHERE":
+        raise SparqlError("expected WHERE")
+    i += 1
+    if i >= len(tokens) or tokens[i] != "{":
+        raise SparqlError("expected '{'")
+    i += 1
+    patterns: list[Pattern] = []
+    terms: list[str] = []
+    while i < len(tokens) and tokens[i] != "}":
+        tok = tokens[i]
+        if tok == ".":
+            if len(terms) != 3:
+                raise SparqlError(f"pattern has {len(terms)} terms, expected 3")
+            patterns.append(Pattern(*terms))
+            terms = []
+        else:
+            terms.append(_unquote(tok))
+            if len(terms) > 3:
+                raise SparqlError("pattern has more than 3 terms (missing '.')?")
+        i += 1
+    if i >= len(tokens):
+        raise SparqlError("unterminated WHERE block")
+    if terms:
+        if len(terms) != 3:
+            raise SparqlError(f"trailing pattern has {len(terms)} terms")
+        patterns.append(Pattern(*terms))
+    if not patterns:
+        raise SparqlError("WHERE block is empty")
+    pattern_vars = set().union(*(p.variables() for p in patterns))
+    for v in select:
+        if v not in pattern_vars:
+            raise SparqlError(f"selected variable {v} not bound in WHERE")
+    return Query(tuple(select), tuple(patterns))
+
+
+def _selectivity(p: Pattern, binding: dict[str, str]) -> int:
+    """Lower is more selective: count unbound variables."""
+    return sum(1 for t in p.terms() if t.startswith("?") and t not in binding)
+
+
+def _resolve(term: str, binding: dict[str, str]) -> str | None:
+    if term.startswith("?"):
+        return binding.get(term)
+    return term
+
+
+def run_query(store: TripleStore, query: Query | str) -> list[dict[str, str]]:
+    """Evaluate ``query`` and return one binding dict per solution row."""
+    if isinstance(query, str):
+        query = parse_query(query)
+
+    results: list[dict[str, str]] = []
+
+    def join(binding: dict[str, str], remaining: list[Pattern]) -> None:
+        if not remaining:
+            results.append({v: binding[v] for v in query.select})
+            return
+        # Pick the most selective remaining pattern given current bindings.
+        nxt = min(remaining, key=lambda p: _selectivity(p, binding))
+        rest = [p for p in remaining if p is not nxt]
+        s = _resolve(nxt.subject, binding)
+        p = _resolve(nxt.predicate, binding)
+        o = _resolve(nxt.obj, binding)
+        for t in store.match(s, p, o):
+            new = dict(binding)
+            ok = True
+            for term, value in zip(nxt.terms(), (t.subject, t.predicate, t.obj)):
+                if term.startswith("?"):
+                    if term in new and new[term] != value:
+                        ok = False
+                        break
+                    new[term] = value
+            if ok:
+                join(new, rest)
+
+    join({}, list(query.patterns))
+    # Deduplicate rows while preserving order.
+    seen: set[tuple] = set()
+    unique: list[dict[str, str]] = []
+    for row in results:
+        key = tuple(sorted(row.items()))
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique

@@ -1,0 +1,24 @@
+"""RDF-style triples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Triple:
+    """An (subject, predicate, object) assertion.
+
+    Subjects/predicates are IRIs abbreviated with the ``hpc:`` prefix;
+    objects may be IRIs or string literals.
+    """
+
+    subject: str
+    predicate: str
+    obj: str
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.obj))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.subject} {self.predicate} {self.obj} ."

@@ -1,0 +1,292 @@
+"""Recursive-descent parser for the C/C++ microkernel subset.
+
+Grammar (the subset DataRaceBench-style kernels need)::
+
+    program   := decl* stmt*
+    decl      := type declarator ("," declarator)* ";"
+    declarator:= IDENT [ "[" NUM "]" ]
+    stmt      := pragma-stmt | for-stmt | if-stmt | assign ";" | block
+    for-stmt  := "for" "(" IDENT "=" expr ";" IDENT ("<"|"<=") expr ";"
+                 (IDENT "++" | IDENT "+=" NUM) ")" stmt
+    assign    := lvalue ("=" | "+=" | "-=" | "*=" | "/=") expr
+    expr      := precedence-climbing over + - * / % with parens and unary -
+
+Directive lines bind to the statement that follows (loop directives to a
+``for``, ``atomic`` to an assignment, block directives to a block);
+``barrier``/``flush``/``taskwait`` stand alone.
+"""
+
+from __future__ import annotations
+
+from repro.openmp.ast_nodes import (
+    ArrayDecl, Assign, AtomicStmt, Barrier, BinOp, CriticalSection, FlushStmt,
+    IfStmt, Idx, Loop, MasterSection, Num, OrderedBlock, ParallelRegion,
+    Program, ScalarDecl, Seq, SingleSection, Var,
+)
+from repro.openmp.lexer import Token, tokenize
+from repro.openmp.pragmas import Pragma, parse_pragma_text
+
+
+class CParseError(ValueError):
+    pass
+
+
+_TYPES = {"int", "long", "float", "double"}
+_ASSIGN_OPS = {"=": None, "+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = [t for t in tokens if t.kind != "NEWLINE"]
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token | None:
+        i = self.pos + ahead
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise CParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise CParseError(f"line {tok.line}: expected {text!r}, got {tok.text!r}")
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok.text == text
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_program(self, source: str) -> Program:
+        scalars: list[ScalarDecl] = []
+        arrays: list[ArrayDecl] = []
+        while True:
+            tok = self.peek()
+            if tok is None or tok.kind != "KEYWORD" or tok.text not in _TYPES:
+                break
+            ctype = self.next().text
+            while True:
+                name_tok = self.next()
+                if name_tok.kind != "IDENT":
+                    raise CParseError(f"line {name_tok.line}: expected identifier")
+                if self.at("["):
+                    self.next()
+                    size_tok = self.next()
+                    if size_tok.kind != "NUM":
+                        raise CParseError(f"line {size_tok.line}: array size must be a literal")
+                    self.expect("]")
+                    arrays.append(ArrayDecl(name_tok.text, int(size_tok.text), ctype))
+                else:
+                    scalars.append(ScalarDecl(name_tok.text, ctype))
+                if self.at(","):
+                    self.next()
+                    continue
+                self.expect(";")
+                break
+        body = Seq()
+        while self.peek() is not None:
+            body.stmts.append(self.parse_stmt())
+        return Program(scalars, arrays, body, language="C/C++", source=source)
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_stmt(self):
+        tok = self.peek()
+        if tok is None:
+            raise CParseError("unexpected end of input in statement")
+        if tok.kind == "PRAGMA":
+            return self.parse_pragma_stmt()
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "for":
+            return self.parse_for(pragma=None)
+        if tok.text == "if":
+            return self.parse_if()
+        return self.parse_assign_stmt()
+
+    def parse_pragma_stmt(self):
+        tok = self.next()
+        pragma = parse_pragma_text(tok.text)
+        if pragma.kind in ("barrier", "taskwait"):
+            return Barrier()
+        if pragma.kind == "flush":
+            return FlushStmt(tuple(pragma.clause_args("flush")))
+        if pragma.kind == "atomic":
+            stmt = self.parse_assign_stmt()
+            return AtomicStmt(stmt)
+        if pragma.kind == "critical":
+            body = self.parse_block_or_single()
+            name = pragma.clause_args("name")
+            return CriticalSection(body, name[0] if name else "")
+        if pragma.kind == "master":
+            return MasterSection(self.parse_block_or_single())
+        if pragma.kind == "single":
+            return SingleSection(self.parse_block_or_single(), nowait=pragma.nowait)
+        if pragma.kind == "ordered":
+            return OrderedBlock(self.parse_block_or_single())
+        if pragma.kind == "parallel":
+            return ParallelRegion(self.parse_block_or_single(), pragma=pragma)
+        # Loop directives.
+        nxt = self.peek()
+        if nxt is None or nxt.text != "for":
+            raise CParseError(
+                f"line {tok.line}: directive omp {pragma.kind!r} must precede a for loop"
+            )
+        return self.parse_for(pragma=pragma)
+
+    def parse_block(self) -> Seq:
+        self.expect("{")
+        body = Seq()
+        while not self.at("}"):
+            if self.peek() is None:
+                raise CParseError("unterminated block")
+            body.stmts.append(self.parse_stmt())
+        self.expect("}")
+        return body
+
+    def parse_block_or_single(self) -> Seq:
+        if self.at("{"):
+            return self.parse_block()
+        return Seq([self.parse_stmt()])
+
+    def parse_for(self, pragma: Pragma | None) -> Loop:
+        self.expect("for")
+        self.expect("(")
+        var_tok = self.next()
+        if var_tok.kind != "IDENT":
+            raise CParseError(f"line {var_tok.line}: loop variable expected")
+        var = var_tok.text
+        self.expect("=")
+        lo = self.parse_expr()
+        self.expect(";")
+        cond_var = self.next()
+        if cond_var.text != var:
+            raise CParseError(f"line {cond_var.line}: loop condition must test {var!r}")
+        rel = self.next()
+        if rel.text not in ("<", "<="):
+            raise CParseError(f"line {rel.line}: loop condition must use < or <=")
+        hi = self.parse_expr()
+        self.expect(";")
+        inc_var = self.next()
+        if inc_var.text != var:
+            raise CParseError(f"line {inc_var.line}: loop increment must update {var!r}")
+        op = self.next()
+        if op.text == "++":
+            step = 1
+        elif op.text == "+=":
+            step_tok = self.next()
+            if step_tok.kind != "NUM":
+                raise CParseError(f"line {step_tok.line}: loop step must be a literal")
+            step = int(step_tok.text)
+        else:
+            raise CParseError(f"line {op.line}: unsupported loop increment {op.text!r}")
+        if step <= 0:
+            raise CParseError(f"line {op.line}: loop step must be positive")
+        self.expect(")")
+        body = self.parse_block_or_single()
+        return Loop(var, lo, hi, body, step=step, inclusive=(rel.text == "<="), pragma=pragma)
+
+    def parse_if(self) -> IfStmt:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_comparison()
+        self.expect(")")
+        then_body = self.parse_block_or_single()
+        else_body = None
+        if self.at("else"):
+            self.next()
+            else_body = self.parse_block_or_single()
+        return IfStmt(cond, then_body, else_body)
+
+    def parse_assign_stmt(self) -> Assign:
+        lhs = self.parse_lvalue()
+        op_tok = self.next()
+        if op_tok.text not in _ASSIGN_OPS:
+            raise CParseError(f"line {op_tok.line}: expected assignment, got {op_tok.text!r}")
+        expr = self.parse_expr()
+        self.expect(";")
+        return Assign(lhs, expr, op=_ASSIGN_OPS[op_tok.text])
+
+    def parse_lvalue(self):
+        tok = self.next()
+        if tok.kind != "IDENT":
+            raise CParseError(f"line {tok.line}: lvalue expected, got {tok.text!r}")
+        if self.at("["):
+            self.next()
+            index = self.parse_expr()
+            self.expect("]")
+            return Idx(tok.text, index)
+        return Var(tok.text)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_comparison(self) -> BinOp:
+        left = self.parse_expr()
+        op_tok = self.next()
+        if op_tok.text not in ("<", "<=", ">", ">=", "==", "!="):
+            raise CParseError(f"line {op_tok.line}: comparison operator expected")
+        right = self.parse_expr()
+        return BinOp(op_tok.text, left, right)
+
+    def parse_expr(self):
+        return self._additive()
+
+    def _additive(self):
+        node = self._multiplicative()
+        while True:
+            tok = self.peek()
+            if tok is not None and tok.text in ("+", "-") and tok.kind == "OP":
+                self.next()
+                node = BinOp(tok.text, node, self._multiplicative())
+            else:
+                return node
+
+    def _multiplicative(self):
+        node = self._unary()
+        while True:
+            tok = self.peek()
+            if tok is not None and tok.text in ("*", "/", "%") and tok.kind == "OP":
+                self.next()
+                node = BinOp(tok.text, node, self._unary())
+            else:
+                return node
+
+    def _unary(self):
+        tok = self.peek()
+        if tok is not None and tok.text == "-" and tok.kind == "OP":
+            self.next()
+            return BinOp("-", Num(0), self._unary())
+        return self._primary()
+
+    def _primary(self):
+        tok = self.next()
+        if tok.text == "(":
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        if tok.kind == "NUM":
+            if "." in tok.text:
+                raise CParseError(f"line {tok.line}: only integer literals supported")
+            return Num(int(tok.text))
+        if tok.kind == "IDENT":
+            if self.at("["):
+                self.next()
+                index = self.parse_expr()
+                self.expect("]")
+                return Idx(tok.text, index)
+            return Var(tok.text)
+        raise CParseError(f"line {tok.line}: unexpected token {tok.text!r} in expression")
+
+
+def parse_c(source: str) -> Program:
+    """Parse C/C++ microkernel source into a :class:`Program`."""
+    parser = _Parser(tokenize(source, "C/C++"))
+    return parser.parse_program(source)

@@ -1,0 +1,329 @@
+"""Recursive-descent parser for the Fortran microkernel subset.
+
+Grammar::
+
+    program := decl* stmt*
+    decl    := ("integer" | "real") ["::"] declarator ("," declarator)*
+    declarator := IDENT [ "(" NUM ")" ]
+    stmt    := directive-stmt
+             | "do" IDENT "=" expr "," expr ["," NUM] NL stmt* "end do"
+             | "if" "(" cond ")" "then" NL stmt* ["else" NL stmt*] "end if"
+             | "if" "(" cond ")" assign
+             | assign
+    assign  := lvalue "=" expr    (array refs use parentheses)
+
+Directives use the ``!$omp`` sentinel; block directives close with the
+matching ``!$omp end ...`` line.  Loop directives (``parallel do``,
+``simd``, ``target teams distribute parallel do``) attach to the ``do``
+that follows; their ``end`` lines are optional, as in real codes.
+Fortran is case-insensitive — the lexer lower-cases identifiers.
+"""
+
+from __future__ import annotations
+
+from repro.openmp.ast_nodes import (
+    ArrayDecl, Assign, AtomicStmt, Barrier, BinOp, CriticalSection, FlushStmt,
+    IfStmt, Idx, Loop, MasterSection, Num, OrderedBlock, ParallelRegion,
+    Program, ScalarDecl, Seq, SingleSection, Var,
+)
+from repro.openmp.lexer import Token, tokenize
+from repro.openmp.pragmas import Pragma, parse_pragma_text
+
+
+class FortranParseError(ValueError):
+    pass
+
+
+_BLOCK_DIRECTIVES = {"critical", "master", "single", "ordered", "parallel"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.array_names: set[str] = set()
+
+    # -- token helpers ---------------------------------------------------------
+
+    def skip_newlines(self) -> None:
+        while self.pos < len(self.tokens) and self.tokens[self.pos].kind == "NEWLINE":
+            self.pos += 1
+
+    def next(self) -> Token:
+        self.skip_newlines()
+        if self.pos >= len(self.tokens):
+            raise FortranParseError("unexpected end of input")
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def peek_tok(self) -> Token | None:
+        self.skip_newlines()
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise FortranParseError(f"line {tok.line}: expected {text!r}, got {tok.text!r}")
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek_tok()
+        return tok is not None and tok.text == text
+
+    def at_words(self, *words: str) -> bool:
+        self.skip_newlines()
+        for k, w in enumerate(words):
+            i = self.pos + k
+            if i >= len(self.tokens) or self.tokens[i].text != w:
+                return False
+        return True
+
+    # -- program -----------------------------------------------------------------
+
+    def parse_program(self, source: str) -> Program:
+        scalars: list[ScalarDecl] = []
+        arrays: list[ArrayDecl] = []
+        while True:
+            tok = self.peek_tok()
+            if tok is None or tok.text not in ("integer", "real"):
+                break
+            ctype = "int" if self.next().text == "integer" else "double"
+            if self.at(":"):  # the '::' separator arrives as two ':' tokens
+                self.next()
+                self.expect(":")
+            while True:
+                name_tok = self.next()
+                if name_tok.kind != "IDENT":
+                    raise FortranParseError(f"line {name_tok.line}: identifier expected")
+                if self.at("("):
+                    self.next()
+                    size_tok = self.next()
+                    if size_tok.kind != "NUM":
+                        raise FortranParseError(
+                            f"line {size_tok.line}: array extent must be a literal"
+                        )
+                    self.expect(")")
+                    arrays.append(ArrayDecl(name_tok.text, int(size_tok.text), ctype))
+                    self.array_names.add(name_tok.text)
+                else:
+                    scalars.append(ScalarDecl(name_tok.text, ctype))
+                if self.at(","):
+                    self.next()
+                    continue
+                break
+        body = Seq()
+        while self.peek_tok() is not None:
+            body.stmts.append(self.parse_stmt())
+        return Program(scalars, arrays, body, language="Fortran", source=source)
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_stmt(self):
+        tok = self.peek_tok()
+        if tok is None:
+            raise FortranParseError("unexpected end of input in statement")
+        if tok.kind == "PRAGMA":
+            return self.parse_directive()
+        if tok.text == "do":
+            return self.parse_do(pragma=None)
+        if tok.text == "if":
+            return self.parse_if()
+        return self.parse_assign()
+
+    def _consume_end_directive(self, kind: str) -> None:
+        """Consume a matching ``!$omp end <kind>`` line if present.
+
+        Only an end-line whose directive words match ``kind`` (after the
+        do->for normalisation) is consumed, so a loop directive cannot
+        swallow the terminator of an enclosing construct.
+        """
+        tok = self.peek_tok()
+        if tok is None or tok.kind != "PRAGMA":
+            return
+        text = tok.text.lower().strip()
+        if not text.startswith("end"):
+            return
+        rest = " ".join("for" if w == "do" else w for w in text[3:].split())
+        if rest == kind:
+            self.next()
+
+    def _parse_until_end_directive(self, kind: str) -> Seq:
+        body = Seq()
+        while True:
+            tok = self.peek_tok()
+            if tok is None:
+                raise FortranParseError(f"missing '!$omp end {kind}'")
+            if tok.kind == "PRAGMA" and tok.text.lower().startswith("end"):
+                self.next()
+                return body
+            body.stmts.append(self.parse_stmt())
+
+    def parse_directive(self):
+        tok = self.next()
+        text = tok.text
+        if text.lower().startswith("end"):
+            raise FortranParseError(f"line {tok.line}: unmatched '!$omp {text}'")
+        pragma = parse_pragma_text(text)
+        if pragma.kind in ("barrier", "taskwait"):
+            return Barrier()
+        if pragma.kind == "flush":
+            return FlushStmt()
+        if pragma.kind == "atomic":
+            return AtomicStmt(self.parse_assign())
+        if pragma.kind == "critical":
+            body = self._parse_until_end_directive("critical")
+            name = pragma.clause_args("name")
+            return CriticalSection(body, name[0] if name else "")
+        if pragma.kind == "master":
+            return MasterSection(self._parse_until_end_directive("master"))
+        if pragma.kind == "single":
+            return SingleSection(self._parse_until_end_directive("single"), nowait=pragma.nowait)
+        if pragma.kind == "ordered":
+            return OrderedBlock(self._parse_until_end_directive("ordered"))
+        if pragma.kind == "parallel":
+            return ParallelRegion(self._parse_until_end_directive("parallel"), pragma=pragma)
+        # Loop directives bind to the following 'do'.
+        nxt = self.peek_tok()
+        if nxt is None or nxt.text != "do":
+            raise FortranParseError(
+                f"line {tok.line}: directive omp {pragma.kind!r} must precede a do loop"
+            )
+        loop = self.parse_do(pragma=pragma)
+        self._consume_end_directive(pragma.kind)
+        return loop
+
+    def parse_do(self, pragma: Pragma | None) -> Loop:
+        self.expect("do")
+        var_tok = self.next()
+        if var_tok.kind != "IDENT":
+            raise FortranParseError(f"line {var_tok.line}: loop variable expected")
+        self.expect("=")
+        lo = self.parse_expr()
+        self.expect(",")
+        hi = self.parse_expr()
+        step = 1
+        if self.at(","):
+            self.next()
+            step_tok = self.next()
+            if step_tok.kind != "NUM":
+                raise FortranParseError(f"line {step_tok.line}: loop stride must be a literal")
+            step = int(step_tok.text)
+            if step <= 0:
+                raise FortranParseError(f"line {step_tok.line}: loop stride must be positive")
+        body = Seq()
+        while not self.at_words("end", "do"):
+            if self.peek_tok() is None:
+                raise FortranParseError("missing 'end do'")
+            body.stmts.append(self.parse_stmt())
+        self.expect("end")
+        self.expect("do")
+        return Loop(var_tok.text, lo, hi, body, step=step, inclusive=True, pragma=pragma)
+
+    def parse_if(self):
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_comparison()
+        self.expect(")")
+        if self.at("then"):
+            self.next()
+            then_body = Seq()
+            else_body = None
+            while not (self.at_words("end", "if") or self.at("else")):
+                if self.peek_tok() is None:
+                    raise FortranParseError("missing 'end if'")
+                then_body.stmts.append(self.parse_stmt())
+            if self.at("else"):
+                self.next()
+                else_body = Seq()
+                while not self.at_words("end", "if"):
+                    if self.peek_tok() is None:
+                        raise FortranParseError("missing 'end if'")
+                    else_body.stmts.append(self.parse_stmt())
+            self.expect("end")
+            self.expect("if")
+            return IfStmt(cond, then_body, else_body)
+        # One-line logical if.
+        stmt = self.parse_assign()
+        return IfStmt(cond, Seq([stmt]), None)
+
+    def parse_assign(self) -> Assign:
+        tok = self.next()
+        if tok.kind != "IDENT":
+            raise FortranParseError(f"line {tok.line}: lvalue expected, got {tok.text!r}")
+        if self.at("("):
+            self.next()
+            index = self.parse_expr()
+            self.expect(")")
+            target = Idx(tok.text, index)
+        else:
+            target = Var(tok.text)
+        self.expect("=")
+        expr = self.parse_expr()
+        return Assign(target, expr, op=None)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_comparison(self) -> BinOp:
+        left = self.parse_expr()
+        op_tok = self.next()
+        op = {"/=": "!="}.get(op_tok.text, op_tok.text)
+        if op not in ("<", "<=", ">", ">=", "==", "!="):
+            raise FortranParseError(f"line {op_tok.line}: comparison operator expected")
+        return BinOp(op, left, self.parse_expr())
+
+    def parse_expr(self):
+        return self._additive()
+
+    def _additive(self):
+        node = self._multiplicative()
+        while True:
+            tok = self.tokens[self.pos] if self.pos < len(self.tokens) else None
+            if tok is not None and tok.kind == "OP" and tok.text in ("+", "-"):
+                self.pos += 1
+                node = BinOp(tok.text, node, self._multiplicative())
+            else:
+                return node
+
+    def _multiplicative(self):
+        node = self._unary()
+        while True:
+            tok = self.tokens[self.pos] if self.pos < len(self.tokens) else None
+            if tok is not None and tok.kind == "OP" and tok.text in ("*", "/"):
+                self.pos += 1
+                node = BinOp(tok.text, node, self._unary())
+            else:
+                return node
+
+    def _unary(self):
+        tok = self.tokens[self.pos] if self.pos < len(self.tokens) else None
+        if tok is not None and tok.kind == "OP" and tok.text == "-":
+            self.pos += 1
+            return BinOp("-", Num(0), self._unary())
+        return self._primary()
+
+    def _primary(self):
+        tok = self.next()
+        if tok.text == "(":
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        if tok.kind == "NUM":
+            if "." in tok.text:
+                raise FortranParseError(f"line {tok.line}: only integer literals supported")
+            return Num(int(tok.text))
+        if tok.kind == "IDENT":
+            # Array reference vs scalar: decls tell us which.
+            if tok.text in self.array_names and self.pos < len(self.tokens) and self.tokens[self.pos].text == "(":
+                self.pos += 1
+                index = self.parse_expr()
+                self.expect(")")
+                return Idx(tok.text, index)
+            return Var(tok.text)
+        raise FortranParseError(f"line {tok.line}: unexpected token {tok.text!r} in expression")
+
+
+def parse_fortran(source: str) -> Program:
+    """Parse Fortran microkernel source into a :class:`Program`."""
+    parser = _Parser(tokenize(source, "Fortran"))
+    return parser.parse_program(source)

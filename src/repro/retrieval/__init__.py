@@ -1,0 +1,24 @@
+"""§5's third update strategy: retrieval-augmented answering.
+
+"Another approach leverages the LangChain framework, wherein HPC-GPT
+integrates new data seamlessly.  [...] This integration process entails
+the division of text into chunks, followed by embedding and matching
+prompts with the most relevant vector chunks."
+
+This package implements that mechanism on the reproduction's substrate:
+a deterministic text embedder (TF-IDF over BPE tokens), a semantic
+vector store with cosine retrieval, and a retrieval-augmented answerer
+that grounds HPC-GPT (or any answer extractor) in the retrieved chunks —
+letting the system absorb *new* knowledge without retraining.
+"""
+
+from repro.retrieval.embedding import TfidfEmbedder
+from repro.retrieval.store import VectorStore
+from repro.retrieval.rag import RetrievalAugmentedAnswerer, split_into_chunks
+
+__all__ = [
+    "TfidfEmbedder",
+    "VectorStore",
+    "RetrievalAugmentedAnswerer",
+    "split_into_chunks",
+]

@@ -1,0 +1,58 @@
+"""Deterministic text embeddings: TF-IDF over BPE token ids.
+
+Real LangChain stacks use neural sentence embeddings; the property the
+§5 mechanism needs is only that *related texts land near each other*.
+TF-IDF over the shared BPE vocabulary gives that deterministically and
+with zero training, and the same tokenizer the LLM uses keeps the
+pipeline self-contained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tokenizer import BPETokenizer
+
+
+class TfidfEmbedder:
+    """Fit IDF weights on a corpus; embed texts as L2-normalised TF-IDF."""
+
+    def __init__(self, tokenizer: BPETokenizer) -> None:
+        self.tokenizer = tokenizer
+        self._idf: np.ndarray | None = None
+        self.dim = tokenizer.vocab_size
+
+    @property
+    def fitted(self) -> bool:
+        return self._idf is not None
+
+    def fit(self, corpus: list[str]) -> "TfidfEmbedder":
+        if not corpus:
+            raise ValueError("cannot fit on an empty corpus")
+        df = np.zeros(self.dim, dtype=np.float64)
+        for text in corpus:
+            ids = set(self.tokenizer.encode(text))
+            for i in ids:
+                if i < self.dim:
+                    df[i] += 1
+        n = len(corpus)
+        self._idf = np.log((1.0 + n) / (1.0 + df)) + 1.0
+        return self
+
+    def embed(self, text: str) -> np.ndarray:
+        if self._idf is None:
+            raise RuntimeError("embedder not fitted")
+        vec = np.zeros(self.dim, dtype=np.float64)
+        ids = self.tokenizer.encode(text)
+        if not ids:
+            return vec
+        for i in ids:
+            if i < self.dim:
+                vec[i] += 1.0
+        vec /= len(ids)
+        vec *= self._idf
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        return np.stack([self.embed(t) for t in texts]) if texts else np.zeros((0, self.dim))

@@ -1,0 +1,68 @@
+"""Semantic vector store with cosine retrieval."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.retrieval.embedding import TfidfEmbedder
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One retrieval result."""
+
+    text: str
+    score: float
+    metadata: dict
+
+
+class VectorStore:
+    """Embeds and indexes text chunks; retrieves by cosine similarity.
+
+    Vectors are L2-normalised by the embedder, so cosine similarity is a
+    single matrix-vector product over the (contiguous) matrix — the
+    vectorised hot path.
+    """
+
+    def __init__(self, embedder: TfidfEmbedder) -> None:
+        if not embedder.fitted:
+            raise ValueError("embedder must be fitted before building a store")
+        self.embedder = embedder
+        self._texts: list[str] = []
+        self._metadata: list[dict] = []
+        self._matrix = np.zeros((0, embedder.dim), dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def add(self, texts: list[str], metadata: list[dict] | None = None) -> None:
+        """Index new chunks (the §5 'integrate new data' operation)."""
+        if not texts:
+            return
+        metadata = metadata or [{} for _ in texts]
+        if len(metadata) != len(texts):
+            raise ValueError("metadata length mismatch")
+        vecs = self.embedder.embed_batch(texts)
+        self._matrix = np.vstack([self._matrix, vecs])
+        self._texts.extend(texts)
+        self._metadata.extend(metadata)
+
+    def all(self) -> list[tuple[str, dict]]:
+        """Every indexed (text, metadata) pair — used by lexical anchor
+        scans in hybrid retrieval."""
+        return list(zip(self._texts, self._metadata))
+
+    def search(self, query: str, k: int = 3) -> list[Hit]:
+        """Top-``k`` chunks by cosine similarity to the query."""
+        if not self._texts:
+            return []
+        q = self.embedder.embed(query)
+        scores = self._matrix @ q
+        k = min(k, len(self._texts))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [
+            Hit(self._texts[i], float(scores[i]), self._metadata[i]) for i in top
+        ]

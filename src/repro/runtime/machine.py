@@ -1,0 +1,101 @@
+"""The machine facade: run a program under several explored schedules and
+provide the happens-before race oracle that dynamic detectors build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.openmp.ast_nodes import Program
+from repro.runtime.interpreter import MemEvent, Trace, execute
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Exploration parameters."""
+
+    n_threads: int = 2
+    n_schedules: int = 2
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1 or self.n_schedules < 1:
+            raise ValueError("threads and schedules must be >= 1")
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """A pair of conflicting, unordered accesses."""
+
+    loc: tuple
+    first: MemEvent
+    second: MemEvent
+
+
+def events_conflict(a: MemEvent, b: MemEvent) -> bool:
+    """Same location, different threads, at least one write, not both
+    atomic (atomic-atomic pairs are well-defined)."""
+    if a.loc != b.loc or a.tid == b.tid:
+        return False
+    if not (a.is_write or b.is_write):
+        return False
+    if a.atomic and b.atomic:
+        return False
+    return True
+
+
+def hb_races(
+    trace: Trace,
+    include_lane_events: bool = True,
+    max_reports: int = 10,
+) -> list[RaceReport]:
+    """Happens-before race detection over one trace.
+
+    ``include_lane_events=False`` models thread-level tools (TSan,
+    Inspector) that observe SIMD lanes as a single host thread.
+    Events are grouped per location; within a group every conflicting
+    pair is checked for vector-clock concurrency (same-thread pairs are
+    program-ordered by construction).
+    """
+    by_loc: dict[tuple, list[MemEvent]] = {}
+    for e in trace.events:
+        if e.lane and not include_lane_events:
+            continue
+        by_loc.setdefault(e.loc, []).append(e)
+
+    reports: list[RaceReport] = []
+    for loc, events in by_loc.items():
+        writes_present = any(e.is_write for e in events)
+        if not writes_present or len({e.tid for e in events}) < 2:
+            continue
+        for a, b in combinations(events, 2):
+            if not events_conflict(a, b):
+                continue
+            if a.vc.concurrent_with(b.vc):
+                reports.append(RaceReport(loc, a, b))
+                if len(reports) >= max_reports:
+                    return reports
+    return reports
+
+
+class Machine:
+    """Runs programs across schedules; caches nothing (programs are tiny)."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig()
+
+    def traces(self, program: Program) -> list[Trace]:
+        cfg = self.config
+        return [
+            execute(program, n_threads=cfg.n_threads, schedule_seed=cfg.base_seed + k)
+            for k in range(cfg.n_schedules)
+        ]
+
+    def any_hb_race(self, program: Program, include_lane_events: bool = True) -> bool:
+        """Ground-truth-style oracle: does any explored schedule exhibit a
+        happens-before race (lanes counted as parallel by default)?"""
+        for trace in self.traces(program):
+            if hb_races(trace, include_lane_events=include_lane_events, max_reports=1):
+                return True
+        return False

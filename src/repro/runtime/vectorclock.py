@@ -1,0 +1,62 @@
+"""Vector clocks for happens-before tracking.
+
+Clocks map thread ids (arbitrary hashables — worker indices, simd lanes,
+device threads) to logical times.  ``a.happens_before(b)`` is the
+component-wise <= test; two events race iff neither clock precedes the
+other.
+"""
+
+from __future__ import annotations
+
+
+class VectorClock:
+    """A mapping thread-id -> logical time with the usual VC algebra."""
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: dict | None = None) -> None:
+        self.clock: dict = dict(clock) if clock else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clock)
+
+    def tick(self, tid) -> None:
+        """Advance ``tid``'s component (a new local event epoch)."""
+        self.clock[tid] = self.clock.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place component-wise max (receive knowledge from ``other``)."""
+        for t, v in other.clock.items():
+            if self.clock.get(t, 0) < v:
+                self.clock[t] = v
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """True iff self <= other component-wise and self != other."""
+        if not all(other.clock.get(t, 0) >= v for t, v in self.clock.items()):
+            return False
+        keys = set(self.clock) | set(other.clock)
+        return any(other.clock.get(t, 0) > self.clock.get(t, 0) for t in keys)
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock precedes the other and they are not equal."""
+        return (
+            self != other
+            and not self.happens_before(other)
+            and not other.happens_before(self)
+        )
+
+    def get(self, tid) -> int:
+        return self.clock.get(tid, 0)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        keys = set(self.clock) | set(other.clock)
+        return all(self.clock.get(k, 0) == other.clock.get(k, 0) for k in keys)
+
+    def __hash__(self):  # pragma: no cover - VCs are not hashable
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self.clock.items(), key=str))
+        return f"VC({inner})"

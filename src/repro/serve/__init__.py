@@ -1,0 +1,18 @@
+"""Deployment (Figure 1, stage 4): a web server exposing the HPC-GPT API
+plus a minimal GUI, and a matching client."""
+
+from repro.serve.server import (
+    HPCGPTRequestHandler,
+    make_server,
+    serve_forever,
+    start_background,
+)
+from repro.serve.client import HPCGPTClient
+
+__all__ = [
+    "HPCGPTRequestHandler",
+    "make_server",
+    "serve_forever",
+    "start_background",
+    "HPCGPTClient",
+]

@@ -1,0 +1,33 @@
+"""Minimal HTTP client for the HPC-GPT API."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+
+class HPCGPTClient:
+    """Talks to a running HPC-GPT server."""
+
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url.rstrip("/")
+
+    def _post(self, path: str, payload: dict) -> dict:
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def health(self) -> dict:
+        with urllib.request.urlopen(self.base_url + "/health", timeout=30) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def answer(self, question: str, version: str = "l2") -> str:
+        return self._post("/api/answer", {"question": question, "version": version})["answer"]
+
+    def detect(self, code: str, language: str = "C/C++") -> str:
+        return self._post("/api/detect", {"code": code, "language": language})["data_race"]

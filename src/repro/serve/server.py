@@ -1,0 +1,135 @@
+"""Web server and HPC-GPT API (Figure 1's deployment stage).
+
+Endpoints (JSON over HTTP, stdlib ``http.server`` — no dependencies):
+
+* ``GET  /``            — a minimal HTML GUI for HPC scientists;
+* ``GET  /health``      — liveness + model metadata;
+* ``POST /api/answer``  — ``{"question": ...}`` -> Task-1 answer;
+* ``POST /api/detect``  — ``{"code": ..., "language": ...}`` -> yes/no.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+_GUI_HTML = """<!doctype html>
+<html><head><title>HPC-GPT</title></head>
+<body>
+<h1>HPC-GPT</h1>
+<p>Ask an HPC question (Task 1) or paste an OpenMP kernel (Task 2).</p>
+<h2>Ask</h2>
+<form onsubmit="ask(event)"><input id="q" size="80"><button>Ask</button></form>
+<pre id="a"></pre>
+<h2>Detect data race</h2>
+<form onsubmit="detect(event)"><textarea id="code" rows="10" cols="80"></textarea>
+<br><select id="lang"><option>C/C++</option><option>Fortran</option></select>
+<button>Detect</button></form>
+<pre id="d"></pre>
+<script>
+async function ask(e){e.preventDefault();
+ const r=await fetch('/api/answer',{method:'POST',body:JSON.stringify({question:document.getElementById('q').value})});
+ document.getElementById('a').textContent=JSON.stringify(await r.json(),null,1);}
+async function detect(e){e.preventDefault();
+ const r=await fetch('/api/detect',{method:'POST',body:JSON.stringify({code:document.getElementById('code').value,language:document.getElementById('lang').value})});
+ document.getElementById('d').textContent=JSON.stringify(await r.json(),null,1);}
+</script></body></html>
+"""
+
+
+class HPCGPTRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches API requests to the bound :class:`HPCGPTSystem`."""
+
+    system = None  # injected by make_server
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -----------------------------------------------------------
+
+    def _send(self, code: int, payload, content_type: str = "application/json") -> None:
+        body = (
+            payload.encode("utf-8")
+            if isinstance(payload, str)
+            else json.dumps(payload).encode("utf-8")
+        )
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        return json.loads(raw.decode("utf-8"))
+
+    def log_message(self, fmt, *args):  # pragma: no cover - silence
+        pass
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self.path == "/":
+            self._send(200, _GUI_HTML, content_type="text/html")
+        elif self.path == "/health":
+            model = self.system.finetuned("l2")
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "model": model.config.name,
+                    "parameters": model.num_parameters(),
+                    "versions": ["l1", "l2"],
+                },
+            )
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:
+        try:
+            payload = self._read_json()
+        except json.JSONDecodeError:
+            self._send(400, {"error": "invalid JSON body"})
+            return
+        if self.path == "/api/answer":
+            question = payload.get("question", "").strip()
+            if not question:
+                self._send(400, {"error": "missing 'question'"})
+                return
+            version = payload.get("version", "l2")
+            answer = self.system.answer(question, version=version)
+            self._send(200, {"question": question, "answer": answer, "version": version})
+        elif self.path == "/api/detect":
+            code = payload.get("code", "")
+            if not code.strip():
+                self._send(400, {"error": "missing 'code'"})
+                return
+            language = payload.get("language", "C/C++")
+            verdict = self.system.detect_race(code, language=language)
+            self._send(200, {"language": language, "data_race": verdict})
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+
+def make_server(system, host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``system``.
+
+    ``port=0`` picks a free port (inspect ``server.server_address``).
+    """
+    handler = type("BoundHandler", (HPCGPTRequestHandler,), {"system": system})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_forever(system, host: str = "127.0.0.1", port: int = 8080):
+    """Blocking entry point used by the deployment example."""
+    server = make_server(system, host, port)
+    print(f"HPC-GPT serving on http://{host}:{server.server_address[1]}")
+    server.serve_forever()
+
+
+def start_background(system, host: str = "127.0.0.1") -> tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the server on a free port in a daemon thread (tests/examples)."""
+    server = make_server(system, host, 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

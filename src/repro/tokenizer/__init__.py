@@ -1,0 +1,10 @@
+"""Byte-pair-encoding tokenizer trained from scratch on the corpus.
+
+Stands in for LLaMA's SentencePiece tokenizer: byte-level fallback (no
+OOV), special tokens for chat formatting, and deterministic training.
+"""
+
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tokenizer.vocab import SpecialTokens
+
+__all__ = ["BPETokenizer", "SpecialTokens"]

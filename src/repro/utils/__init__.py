@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG management, text helpers, tiny I/O helpers.
+
+Every stochastic component in the reproduction draws randomness through
+:mod:`repro.utils.rng` so that benches and tests are bit-for-bit
+reproducible across runs and machines.
+"""
+
+from repro.utils.rng import RngHub, derive_rng, new_rng
+from repro.utils.text import (
+    normalize_ws,
+    sentence_case,
+    tokenize_words,
+    truncate_words,
+    word_count,
+)
+
+__all__ = [
+    "RngHub",
+    "derive_rng",
+    "new_rng",
+    "normalize_ws",
+    "sentence_case",
+    "tokenize_words",
+    "truncate_words",
+    "word_count",
+]

@@ -1,0 +1,48 @@
+"""Tests for the CLI (parser wiring and the cheap commands)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, suite_write_sources
+from repro.drb import DRBSuite
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if a.dest == "command")
+        assert set(sub.choices) == {"build", "ask", "detect", "eval", "serve", "export"}
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_args(self):
+        args = build_parser().parse_args(
+            ["detect", "kernel.c", "--language", "Fortran", "--preset", "paper"]
+        )
+        assert args.file == "kernel.c" and args.language == "Fortran"
+        assert args.preset == "paper"
+
+
+class TestExport:
+    def test_export_writes_manifest_and_sources(self, tmp_path):
+        # A small sub-suite keeps the test fast.
+        full = DRBSuite.evaluation(seed=0)
+        small = DRBSuite(full.specs[:6] + full.by_language("Fortran")[:6])
+        n = suite_write_sources(small, tmp_path)
+        assert n == 12
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest) == 12
+        for entry in manifest:
+            path = tmp_path / entry["file"]
+            assert path.exists()
+            assert entry["label"] in ("yes", "no")
+        assert (tmp_path / "c").exists() and (tmp_path / "fortran").exists()
+
+    def test_export_cli_roundtrip(self, tmp_path, capsys):
+        rc = main(["export", str(tmp_path / "drb")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote 343 kernels" in out

@@ -1,0 +1,149 @@
+"""Tests for the LLM-based detectors: token budget (TSR), base-model
+behaviour, GPT heuristic sims, and the HPC-GPT margin classifier."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    GPTHeuristicDetector,
+    HPCGPTDetector,
+    LLMBaseModelDetector,
+    TOKEN_BUDGET,
+    Verdict,
+    race_prompt,
+)
+from repro.detectors.llm_detector import parse_yes_no, yes_no_margin
+from repro.drb import DRBSuite
+from repro.llm import CausalLM, ModelConfig
+from repro.llm.pretrain import PretrainConfig, build_general_corpus, train_tokenizer_on
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return DRBSuite.evaluation(seed=0)
+
+
+@pytest.fixture(scope="module")
+def tok(suite):
+    corpus = build_general_corpus(PretrainConfig(n_sentences=150))
+    corpus += [s.source for s in suite.specs[:20]]
+    return train_tokenizer_on(corpus, vocab_size=400)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    cfg = ModelConfig(vocab_size=400, dim=16, n_layers=1, n_heads=2,
+                      hidden_dim=32, max_seq_len=256)
+    return CausalLM(cfg, derive_rng(9, "llm-det"))
+
+
+class TestTokenBudget:
+    def test_oversize_c_files_unsupported(self, suite, tok):
+        det = GPTHeuristicDetector("GPT-4", "gpt-4", tok)
+        oversize = [s for s in suite.specs if "oversize" in s.features]
+        assert len(oversize) == 14
+        assert all(s.language == "C/C++" for s in oversize)
+        assert all(not det.supports(s) for s in oversize)
+        assert all(det.run(s).verdict is Verdict.UNSUPPORTED for s in oversize[:2])
+
+    def test_normal_files_supported(self, suite, tok):
+        det = GPTHeuristicDetector("GPT-4", "gpt-4", tok)
+        normal = [s for s in suite.specs if "oversize" not in s.features][:10]
+        assert all(det.supports(s) for s in normal)
+
+    def test_fortran_all_supported(self, suite, tok):
+        det = GPTHeuristicDetector("GPT-4", "gpt-4", tok)
+        assert all(det.supports(s) for s in suite.by_language("Fortran"))
+
+    def test_budget_is_8k(self):
+        assert TOKEN_BUDGET == 8192
+
+
+class TestParseYesNo:
+    def test_first_occurrence_wins(self):
+        assert parse_yes_no("Well, no — although yes in theory") == "no"
+        assert parse_yes_no("Yes, there is a race.") == "yes"
+
+    def test_default_on_garbage(self):
+        assert parse_yes_no("ssssss") == "yes"
+        assert parse_yes_no("", default="no") == "no"
+
+    def test_word_boundaries(self):
+        assert parse_yes_no("nothing to note here") == "yes"  # 'no' not standalone
+
+
+class TestGPTSims:
+    def test_gpt4_beats_gpt35(self, suite, tok):
+        specs = [s for s in suite.by_language("C/C++") if "oversize" not in s.features]
+        g4 = GPTHeuristicDetector("GPT-4", "gpt-4", tok)
+        g35 = GPTHeuristicDetector("GPT-3.5", "gpt-3.5", tok)
+
+        def acc(det):
+            ok = 0
+            for s in specs:
+                v = det.run(s).verdict
+                ok += (v is Verdict.RACE) == (s.label == "yes")
+            return ok / len(specs)
+
+        a4, a35 = acc(g4), acc(g35)
+        assert a4 > a35
+        assert 0.55 < a35 < 0.95 and 0.6 < a4 <= 0.95
+
+    def test_deterministic(self, suite, tok):
+        det1 = GPTHeuristicDetector("GPT-4", "gpt-4", tok, seed=1)
+        det2 = GPTHeuristicDetector("GPT-4", "gpt-4", tok, seed=1)
+        s = suite.specs[3]
+        assert det1.run(s).verdict == det2.run(s).verdict
+
+    def test_serial_code_is_no(self, suite, tok):
+        det = GPTHeuristicDetector("GPT-4", "gpt-4", tok)
+        serial = next(s for s in suite.specs if "serial" in s.features)
+        # Modulo error channel may flip; check the raw heuristic.
+        assert det._gpt4_answer(serial.source) == "no"
+
+    def test_unknown_skill_rejected(self, tok):
+        with pytest.raises(ValueError):
+            GPTHeuristicDetector("x", "gpt-5", tok)
+
+
+class TestBaseModelDetector:
+    def test_returns_verdict_and_deterministic(self, suite, tok, tiny_model):
+        det = LLMBaseModelDetector("LLaMa", tiny_model, tok)
+        s = next(s for s in suite.specs if "oversize" not in s.features)
+        v1 = det.run(s).verdict
+        v2 = det.run(s).verdict
+        assert v1 == v2 and v1 in (Verdict.RACE, Verdict.NO_RACE)
+
+    def test_near_chance_overall(self, suite, tok, tiny_model):
+        """An untuned model cannot beat the heuristic sims; accuracy must
+        sit near chance (the paper's LLaMA rows: 0.52-0.54)."""
+        det = LLMBaseModelDetector("LLaMa", tiny_model, tok)
+        rng = np.random.default_rng(0)
+        pool = suite.by_language("Fortran")
+        specs = list(rng.permutation(np.array(pool, dtype=object)))[:40]
+        assert 10 <= sum(s.label == "yes" for s in specs) <= 30  # balanced slice
+        ok = sum(
+            (det.run(s).verdict is Verdict.RACE) == (s.label == "yes") for s in specs
+        )
+        assert 0.2 <= ok / len(specs) <= 0.8
+
+
+class TestHPCGPTDetector:
+    def test_margin_threshold_behaviour(self, suite, tok, tiny_model):
+        s = next(s for s in suite.specs if "oversize" not in s.features)
+        margin = yes_no_margin(tiny_model, tok, race_prompt(s))
+        low = HPCGPTDetector("hg", tiny_model, tok, threshold=margin - 1.0)
+        high = HPCGPTDetector("hg", tiny_model, tok, threshold=margin + 1.0)
+        assert low.run(s).verdict is Verdict.RACE
+        assert high.run(s).verdict is Verdict.NO_RACE
+
+    def test_margin_is_finite_float(self, suite, tok, tiny_model):
+        s = suite.specs[0]
+        m = yes_no_margin(tiny_model, tok, race_prompt(s))
+        assert isinstance(m, float) and np.isfinite(m)
+
+    def test_long_prompt_truncated_not_crashing(self, suite, tok, tiny_model):
+        s = next(s for s in suite.specs if "oversize" in s.features)
+        m = yes_no_margin(tiny_model, tok, race_prompt(s))
+        assert np.isfinite(m)

@@ -1,0 +1,97 @@
+"""Tests for §4.5 metrics and table rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.base import ToolResult, Verdict
+from repro.eval import compute_metrics, render_table4, render_table5
+from repro.eval.metrics import ConfusionCounts, confusion_from_results
+from repro.eval.tables import improvements_over
+
+
+def make_results(verdicts_truth):
+    results, labels = [], {}
+    for i, (verdict, truth) in enumerate(verdicts_truth):
+        pid = f"p{i}"
+        results.append(ToolResult("tool", pid, verdict))
+        labels[pid] = truth
+    return results, labels
+
+
+class TestConfusion:
+    def test_basic_tabulation(self):
+        results, labels = make_results([
+            (Verdict.RACE, "yes"),      # TP
+            (Verdict.RACE, "no"),       # FP
+            (Verdict.NO_RACE, "no"),    # TN
+            (Verdict.NO_RACE, "yes"),   # FN
+            (Verdict.UNSUPPORTED, "yes"),
+        ])
+        c = confusion_from_results(results, labels)
+        assert (c.tp, c.fp, c.tn, c.fn, c.unsupported) == (1, 1, 1, 1, 1)
+        assert c.supported == 4 and c.total == 5
+
+    def test_metric_formulas(self):
+        results, labels = make_results(
+            [(Verdict.RACE, "yes")] * 6
+            + [(Verdict.NO_RACE, "yes")] * 2
+            + [(Verdict.NO_RACE, "no")] * 8
+            + [(Verdict.RACE, "no")] * 2
+            + [(Verdict.UNSUPPORTED, "no")] * 2
+        )
+        row = compute_metrics("t", "C/C++", results, labels)
+        assert row.recall == pytest.approx(6 / 8)
+        assert row.specificity == pytest.approx(8 / 10)
+        assert row.precision == pytest.approx(6 / 8)
+        assert row.accuracy == pytest.approx(14 / 18)
+        assert row.tsr == pytest.approx(18 / 20)
+        assert row.f1 == pytest.approx(0.75)
+        assert row.adjusted_f1 == pytest.approx(0.75 * 0.9)
+
+    def test_zero_divisions_safe(self):
+        results, labels = make_results([(Verdict.NO_RACE, "no")])
+        row = compute_metrics("t", "C/C++", results, labels)
+        assert row.recall == 0.0 and row.precision == 0.0 and row.f1 == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from([Verdict.RACE, Verdict.NO_RACE, Verdict.UNSUPPORTED]),
+                  st.sampled_from(["yes", "no"])),
+        min_size=1, max_size=50,
+    ))
+    def test_metrics_bounded_property(self, pairs):
+        results, labels = make_results(pairs)
+        row = compute_metrics("t", "x", results, labels)
+        for m in ("recall", "specificity", "precision", "accuracy", "tsr", "f1", "adjusted_f1"):
+            assert 0.0 <= getattr(row, m) <= 1.0
+        c = row.counts
+        assert c.total == len(pairs)
+
+
+class TestTables:
+    def test_table4_contains_versions(self):
+        text = render_table4()
+        assert "ThreadSanitizer" in text and "10.0.0" in text
+        assert "Intel Inspector" in text and "LLOV" in text
+
+    def test_table5_marks_best(self):
+        results, labels = make_results([(Verdict.RACE, "yes"), (Verdict.NO_RACE, "no")])
+        rows = [compute_metrics("perfect", "C/C++", results, labels)]
+        results2, _ = make_results([(Verdict.NO_RACE, "yes"), (Verdict.RACE, "no")])
+        rows.append(compute_metrics("worst", "C/C++", results2, labels))
+        text = render_table5(rows, "C/C++")
+        assert "perfect" in text and "*" in text
+
+    def test_table5_unknown_language(self):
+        with pytest.raises(ValueError):
+            render_table5([], "COBOL")
+
+    def test_improvements(self):
+        results, labels = make_results([(Verdict.RACE, "yes")] * 4 + [(Verdict.NO_RACE, "no")] * 4)
+        good = compute_metrics("HPC-GPT (L2)", "C/C++", results, labels)
+        mixed, _ = make_results([(Verdict.RACE, "yes")] * 2 + [(Verdict.NO_RACE, "yes")] * 2
+                                + [(Verdict.NO_RACE, "no")] * 2 + [(Verdict.RACE, "no")] * 2)
+        base = compute_metrics("LLaMa", "C/C++", mixed, labels)
+        gains = improvements_over([good, base], "HPC-GPT (L2)", ["LLaMa"], "C/C++")
+        assert gains["LLaMa"] > 0

@@ -1,0 +1,58 @@
+"""Tests for the model registry (base-model construction and caching)."""
+
+import numpy as np
+import pytest
+
+from repro.llm import ModelConfig, ModelRegistry, PretrainConfig
+
+
+TINY = ModelConfig(vocab_size=330, dim=16, n_layers=1, n_heads=2, hidden_dim=32, max_seq_len=64)
+FAST = PretrainConfig(n_sentences=120, steps=15, batch_size=4, seq_len=32)
+
+
+class TestRegistry:
+    def test_available_models(self):
+        reg = ModelRegistry(TINY, FAST, cache_dir=None)
+        assert reg.available() == ["llama-13b-sim", "llama2-13b-sim"]
+
+    def test_unknown_model_rejected(self):
+        reg = ModelRegistry(TINY, FAST, cache_dir=None)
+        with pytest.raises(KeyError):
+            reg.base_model("gpt-5")
+
+    def test_base_models_differ(self):
+        reg = ModelRegistry(TINY, FAST, cache_dir=None)
+        a = reg.base_model("llama-13b-sim")
+        b = reg.base_model("llama2-13b-sim")
+        assert not np.allclose(a.tok_emb.weight.data, b.tok_emb.weight.data)
+
+    def test_memoised_in_process(self):
+        reg = ModelRegistry(TINY, FAST, cache_dir=None)
+        assert reg.base_model("llama-13b-sim") is reg.base_model("llama-13b-sim")
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        reg1 = ModelRegistry(TINY, FAST, cache_dir=tmp_path)
+        m1 = reg1.base_model("llama-13b-sim")
+        # Fresh registry, same cache dir: must load identical weights
+        # without retraining (observable through identical parameters).
+        reg2 = ModelRegistry(TINY, FAST, cache_dir=tmp_path)
+        m2 = reg2.base_model("llama-13b-sim")
+        for (n1, p1), (n2, p2) in zip(
+            sorted(m1.state_dict().items()), sorted(m2.state_dict().items())
+        ):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1, p2)
+
+    def test_tokenizer_shared_and_cached(self, tmp_path):
+        reg = ModelRegistry(TINY, FAST, cache_dir=tmp_path)
+        t1 = reg.tokenizer()
+        assert reg.tokenizer() is t1
+        reg2 = ModelRegistry(TINY, FAST, cache_dir=tmp_path)
+        t2 = reg2.tokenizer()
+        assert t2.encode("the river crosses") == t1.encode("the river crosses")
+
+    def test_extra_texts_change_cache_key(self, tmp_path):
+        reg1 = ModelRegistry(TINY, FAST, cache_dir=tmp_path)
+        reg2 = ModelRegistry(TINY, FAST, extra_tokenizer_texts=["#pragma omp parallel"],
+                             cache_dir=tmp_path)
+        assert reg1._cache_key("x") != reg2._cache_key("x")

@@ -1,0 +1,138 @@
+"""Tests for the §5 retrieval layer: embeddings, vector store, RAG."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge import build_knowledge_base
+from repro.knowledge.corpus import KnowledgeChunk
+from repro.llm.pretrain import PretrainConfig, build_general_corpus, train_tokenizer_on
+from repro.retrieval import (
+    RetrievalAugmentedAnswerer,
+    TfidfEmbedder,
+    VectorStore,
+    split_into_chunks,
+)
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return build_knowledge_base()
+
+
+@pytest.fixture(scope="module")
+def tok(kb):
+    corpus = build_general_corpus(PretrainConfig(n_sentences=100))
+    corpus += [c.text for c in kb[:40]]
+    return train_tokenizer_on(corpus, vocab_size=420)
+
+
+@pytest.fixture(scope="module")
+def embedder(tok, kb):
+    return TfidfEmbedder(tok).fit([c.text for c in kb])
+
+
+@pytest.fixture(scope="module")
+def store(embedder, kb):
+    s = VectorStore(embedder)
+    s.add([c.text for c in kb], [{"facts": c.facts} for c in kb])
+    return s
+
+
+class TestEmbedder:
+    def test_unit_norm(self, embedder):
+        v = embedder.embed("the Devign dataset targets C programs")
+        assert np.linalg.norm(v) == pytest.approx(1.0, rel=1e-6)
+
+    def test_similar_texts_closer(self, embedder):
+        a = embedder.embed("dataset for defect detection in C")
+        b = embedder.embed("defect detection dataset for the C language")
+        c = embedder.embed("the lighthouse welcomes every visitor at dusk")
+        assert a @ b > a @ c
+
+    def test_empty_text_zero_vector(self, embedder):
+        assert np.linalg.norm(embedder.embed("")) == 0.0
+
+    def test_requires_fit(self, tok):
+        with pytest.raises(RuntimeError):
+            TfidfEmbedder(tok).embed("x")
+        with pytest.raises(ValueError):
+            TfidfEmbedder(tok).fit([])
+
+
+class TestStore:
+    def test_retrieves_relevant_chunk(self, store):
+        hits = store.search("Which system uses the NVIDIA H100-SXM5-80GB accelerator "
+                            "with MXNet NVIDIA Release 23.04?", k=3)
+        assert hits
+        assert any("dgxh100_n64" in h.text for h in hits)
+
+    def test_scores_sorted(self, store):
+        hits = store.search("code translation dataset", k=5)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_store(self, embedder):
+        s = VectorStore(embedder)
+        s.add(["only one chunk about datasets"])
+        assert len(s.search("datasets", k=10)) == 1
+
+    def test_empty_store(self, embedder):
+        assert VectorStore(embedder).search("anything") == []
+
+    def test_metadata_mismatch_rejected(self, embedder):
+        s = VectorStore(embedder)
+        with pytest.raises(ValueError):
+            s.add(["a", "b"], [{}])
+
+    def test_unfitted_embedder_rejected(self, tok):
+        with pytest.raises(ValueError):
+            VectorStore(TfidfEmbedder(tok))
+
+
+class TestChunking:
+    def test_split_respects_budget(self, tok):
+        text = " ".join(f"Sentence number {i} talks about datasets." for i in range(40))
+        chunks = split_into_chunks(text, tok, max_tokens=60)
+        assert len(chunks) > 1
+        for c in chunks:
+            assert tok.token_count(c) <= 60 + 12  # one sentence may straddle
+
+    def test_all_content_kept(self, tok):
+        text = "First point. Second point. Third point."
+        chunks = split_into_chunks(text, tok, max_tokens=8)
+        assert "".join(chunks).replace(" ", "") == text.replace(" ", "")
+
+
+class TestRAG:
+    def test_answers_listing4_from_store(self, store):
+        rag = RetrievalAugmentedAnswerer(store)
+        ans = rag.answer("What is the System if the Accelerator used is "
+                         "NVIDIA H100-SXM5-80GB and the Software used is "
+                         "MXNet NVIDIA Release 23.04?")
+        assert ans is not None and "dgxh100_n64" in ans
+
+    def test_new_data_answerable_without_retraining(self, embedder, kb):
+        """The §5 claim: adding chunks makes *new* facts answerable."""
+        store = VectorStore(embedder)
+        store.add([c.text for c in kb], [{"facts": c.facts} for c in kb])
+        rag = RetrievalAugmentedAnswerer(store)
+        q = "What is the System if the Accelerator used is NVIDIA B200-SXM6-192GB?"
+        before = rag.answer(q)
+        assert before is None or "dgxb200_n8" not in before
+
+        new_chunk = KnowledgeChunk(
+            text=("An MLPerf Training v4.0 submission. Submitter: NVIDIA. "
+                  "System: dgxb200_n8. Processor: Intel(R) Xeon(R) Platinum 8570. "
+                  "Accelerator: NVIDIA B200-SXM6-192GB. Software: PyTorch 2.3."),
+            source="mlperf-table", task="mlperf", category="System",
+            facts={"System": "dgxb200_n8", "Accelerator": "NVIDIA B200-SXM6-192GB"},
+        )
+        store.add([new_chunk.text], [{"facts": new_chunk.facts}])
+        after = rag.answer(q)
+        assert after is not None and "dgxb200_n8" in after
+
+    def test_context_for_formats_hits(self, store):
+        rag = RetrievalAugmentedAnswerer(store, k=2)
+        ctx = rag.context_for("code translation dataset")
+        assert ctx.startswith("[1] ")
+        assert "[2] " in ctx

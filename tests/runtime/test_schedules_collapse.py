@@ -1,0 +1,160 @@
+"""Tests for dynamic scheduling and collapse(2) loop execution."""
+
+import numpy as np
+import pytest
+
+from repro.openmp import parse_c, parse_fortran
+from repro.runtime import ExecutionError, execute
+from repro.runtime.machine import hb_races
+
+
+class TestDynamicSchedule:
+    def test_dynamic_covers_all_iterations(self):
+        src = """
+int i;
+double a[40];
+#pragma omp parallel for schedule(dynamic)
+for (i = 0; i < 40; i++) { a[i] = i; }
+"""
+        trace = execute(parse_c(src), n_threads=4, schedule_seed=0)
+        np.testing.assert_allclose(trace.final_arrays["a"], np.arange(40))
+        assert not hb_races(trace)
+
+    def test_dynamic_chunked(self):
+        src = """
+int i;
+double a[30];
+#pragma omp parallel for schedule(dynamic, 4)
+for (i = 0; i < 30; i++) { a[i] = i * 2; }
+"""
+        trace = execute(parse_c(src), n_threads=3, schedule_seed=1)
+        np.testing.assert_allclose(trace.final_arrays["a"], np.arange(30) * 2.0)
+
+    def test_dynamic_interleaves_across_threads(self):
+        """Unlike static chunking, dynamic(1) spreads adjacent iterations
+        across threads under contention."""
+        src = """
+int i;
+double a[24];
+#pragma omp parallel for schedule(dynamic)
+for (i = 0; i < 24; i++) { a[i] = 1; }
+"""
+        trace = execute(parse_c(src), n_threads=2, schedule_seed=3)
+        writer = {}
+        for e in trace.events:
+            if e.is_write:
+                writer[e.loc[2]] = e.tid
+        # With static chunking thread 0 owns [0, 12); dynamic must mix.
+        owners_low = {writer[i] for i in range(12) if i in writer}
+        assert len(owners_low) == 2
+
+    def test_dynamic_race_still_races(self):
+        src = """
+int i;
+double y[32];
+#pragma omp parallel for schedule(dynamic)
+for (i = 1; i < 32; i++) { y[i] = y[i-1]; }
+"""
+        trace = execute(parse_c(src), n_threads=2, schedule_seed=0)
+        assert hb_races(trace)
+
+    def test_dynamic_reduction_correct(self):
+        src = """
+int i;
+double s, x[16];
+#pragma omp parallel for schedule(dynamic) reduction(+:s)
+for (i = 0; i < 16; i++) { s += 1; }
+"""
+        trace = execute(parse_c(src), n_threads=4, schedule_seed=0)
+        assert not hb_races(trace)
+
+
+class TestCollapse:
+    def test_collapse_flattens_and_computes(self):
+        src = """
+int i, j;
+double a[36];
+#pragma omp parallel for collapse(2)
+for (i = 0; i < 6; i++) {
+  for (j = 0; j < 6; j++) {
+    a[i * 6 + j] = i * 10 + j;
+  }
+}
+"""
+        trace = execute(parse_c(src), n_threads=4, schedule_seed=0)
+        expected = np.array([i * 10 + j for i in range(6) for j in range(6)], dtype=float)
+        np.testing.assert_allclose(trace.final_arrays["a"], expected)
+        assert not hb_races(trace)
+
+    def test_collapse_fortran(self):
+        src = """
+integer :: i, j
+real :: a(36)
+!$omp parallel do collapse(2)
+do i = 1, 6
+  do j = 1, 6
+    a((i-1) * 6 + j) = i + j
+  end do
+end do
+!$omp end parallel do
+"""
+        trace = execute(parse_fortran(src), n_threads=3, schedule_seed=0)
+        expected = np.array([i + j for i in range(1, 7) for j in range(1, 7)], dtype=float)
+        np.testing.assert_allclose(trace.final_arrays["a"][1:], expected)
+
+    def test_collapse_spreads_outer_iterations(self):
+        """collapse(2) with more threads than outer iterations actually
+        uses the extra parallelism (the reason the clause exists)."""
+        src = """
+int i, j;
+double a[32];
+#pragma omp parallel for collapse(2)
+for (i = 0; i < 2; i++) {
+  for (j = 0; j < 16; j++) {
+    a[i * 16 + j] = 1;
+  }
+}
+"""
+        trace = execute(parse_c(src), n_threads=4, schedule_seed=0)
+        writers = {e.tid for e in trace.events if e.is_write}
+        assert len(writers) == 4  # plain outer-loop chunking would use 2
+
+    def test_collapse_race_detected(self):
+        src = """
+int i, j;
+double a[40];
+#pragma omp parallel for collapse(2)
+for (i = 0; i < 6; i++) {
+  for (j = 1; j < 6; j++) {
+    a[i * 6 + j] = a[i * 6 + j - 1] + 1;
+  }
+}
+"""
+        trace = execute(parse_c(src), n_threads=4, schedule_seed=0)
+        assert hb_races(trace)
+
+    def test_imperfect_nest_rejected(self):
+        src = """
+int i, j;
+double a[8];
+#pragma omp parallel for collapse(2)
+for (i = 0; i < 2; i++) {
+  a[i] = 0;
+}
+"""
+        with pytest.raises(ExecutionError):
+            execute(parse_c(src))
+
+    def test_collapse_3_rejected(self):
+        src = """
+int i, j;
+double a[8];
+#pragma omp parallel for collapse(3)
+for (i = 0; i < 2; i++) {
+  for (j = 0; j < 2; j++) {
+    a[i * 2 + j] = 1;
+  }
+}
+"""
+        with pytest.raises(ExecutionError):
+            execute(parse_c(src))

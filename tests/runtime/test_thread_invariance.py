@@ -1,0 +1,47 @@
+"""Thread-count invariance: a race-free kernel must compute the same
+final state with 1, 2, or 4 threads — parallelisation is semantically
+transparent exactly when there are no data races."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.pipeline import NORACE_CATEGORIES
+from repro.drb import DRBSuite
+from repro.runtime import execute
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return DRBSuite.evaluation(seed=0)
+
+
+@pytest.mark.parametrize("category", NORACE_CATEGORIES)
+def test_race_free_thread_count_invariant(suite, category):
+    spec = next(
+        s for s in suite.specs
+        if s.language == "C/C++" and s.category == category
+        and "oversize" not in s.features
+    )
+    prog = spec.parse()
+    reference = execute(prog, n_threads=1, schedule_seed=0).final_arrays
+    for n in (2, 4):
+        out = execute(prog, n_threads=n, schedule_seed=0).final_arrays
+        for name in reference:
+            np.testing.assert_allclose(
+                out[name], reference[name], rtol=1e-9,
+                err_msg=f"{spec.id}: {n}-thread result differs from serial",
+            )
+
+
+def test_reduction_order_tolerance(suite):
+    """Floating-point reductions may reassociate across thread counts;
+    values must agree to rounding, not bitwise."""
+    spec = next(
+        s for s in suite.specs
+        if s.language == "Fortran" and "reduction" in s.features
+    )
+    prog = spec.parse()
+    r1 = execute(prog, n_threads=1, schedule_seed=0)
+    r4 = execute(prog, n_threads=4, schedule_seed=0)
+    for name in r1.final_arrays:
+        np.testing.assert_allclose(r4.final_arrays[name], r1.final_arrays[name], rtol=1e-9)

@@ -1,0 +1,84 @@
+"""Tests for the deployment stage (server + client) using a stub system
+so no training happens in unit tests."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.serve import HPCGPTClient
+from repro.serve.server import start_background
+
+
+class StubSystem:
+    """Implements exactly the surface the server uses."""
+
+    class _Model:
+        class config:  # noqa: N801 - mimics ModelConfig attribute access
+            name = "stub-model"
+
+        @staticmethod
+        def num_parameters():
+            return 12345
+
+    def finetuned(self, version="l2"):
+        return self._Model()
+
+    def answer(self, question, version="l2"):
+        return f"stub answer to: {question}"
+
+    def detect_race(self, code, language="C/C++"):
+        return "yes" if "parallel" in code else "no"
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server, _ = start_background(StubSystem())
+    host, port = server.server_address
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+class TestServer:
+    def test_health(self, server_url):
+        client = HPCGPTClient(server_url)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["model"] == "stub-model"
+        assert health["parameters"] == 12345
+
+    def test_gui_served(self, server_url):
+        with urllib.request.urlopen(server_url + "/") as resp:
+            body = resp.read().decode()
+        assert "<html" in body and "HPC-GPT" in body
+
+    def test_answer_endpoint(self, server_url):
+        client = HPCGPTClient(server_url)
+        assert client.answer("what dataset?") == "stub answer to: what dataset?"
+
+    def test_detect_endpoint(self, server_url):
+        client = HPCGPTClient(server_url)
+        assert client.detect("#pragma omp parallel for ...") == "yes"
+        assert client.detect("serial loop") == "no"
+
+    def test_missing_fields_400(self, server_url):
+        for path, payload in (("/api/answer", {}), ("/api/detect", {"code": "  "})):
+            req = urllib.request.Request(
+                server_url + path, data=json.dumps(payload).encode(), method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req)
+            assert err.value.code == 400
+
+    def test_bad_json_400(self, server_url):
+        req = urllib.request.Request(
+            server_url + "/api/answer", data=b"not json{", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 400
+
+    def test_unknown_path_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server_url + "/nope")
+        assert err.value.code == 404

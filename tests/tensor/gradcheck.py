@@ -1,0 +1,50 @@
+"""Finite-difference gradient checking helper shared by tensor tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_grad(fn, arrays: list[np.ndarray], eps: float = 1e-3) -> list[np.ndarray]:
+    """Central-difference gradient of scalar ``fn(*arrays)`` w.r.t. each array."""
+    grads = []
+    for k, base in enumerate(arrays):
+        g = np.zeros_like(base, dtype=np.float64)
+        it = np.nditer(base, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = base[idx]
+            args_hi = [a.copy() for a in arrays]
+            args_lo = [a.copy() for a in arrays]
+            args_hi[k][idx] = orig + eps
+            args_lo[k][idx] = orig - eps
+            g[idx] = (fn(*args_hi) - fn(*args_lo)) / (2 * eps)
+            it.iternext()
+        grads.append(g)
+    return grads
+
+
+def check_grads(build_fn, arrays: list[np.ndarray], atol: float = 2e-2, rtol: float = 5e-2):
+    """Compare autodiff grads against finite differences.
+
+    ``build_fn(*tensors) -> scalar Tensor`` builds the graph; the same
+    function applied to raw arrays (via wrapping) provides the numeric
+    reference.
+    """
+    tensors = [Tensor(a.astype(np.float32), requires_grad=True) for a in arrays]
+    out = build_fn(*tensors)
+    out.backward()
+    auto = [t.grad.astype(np.float64) for t in tensors]
+
+    def scalar_fn(*raw):
+        ts = [Tensor(r.astype(np.float64)) for r in raw]
+        # Rebuild in float64 for the numeric reference.
+        for t, r in zip(ts, raw):
+            t.data = r.astype(np.float64)
+        return float(build_fn(*ts).data)
+
+    numeric = numeric_grad(scalar_fn, [a.astype(np.float64) for a in arrays])
+    for got, want in zip(auto, numeric):
+        np.testing.assert_allclose(got, want, atol=atol, rtol=rtol)

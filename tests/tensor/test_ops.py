@@ -1,0 +1,197 @@
+"""Tests for fused functional ops (softmax, cross-entropy, RMSNorm, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    cat,
+    cross_entropy_logits,
+    dropout,
+    embedding,
+    gelu,
+    log_softmax,
+    relu,
+    rms_norm,
+    silu,
+    softmax,
+    stack,
+    tanh,
+    where,
+)
+from repro.utils.rng import derive_rng
+
+from tests.tensor.gradcheck import check_grads
+
+
+RNG = derive_rng(2, "tests/ops")
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape).astype(np.float32)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        a = randn(10)
+        np.testing.assert_allclose(relu(Tensor(a)).numpy(), np.maximum(a, 0))
+
+    def test_silu_forward_matches_reference(self):
+        a = randn(10)
+        ref = a / (1.0 + np.exp(-a))
+        np.testing.assert_allclose(silu(Tensor(a)).numpy(), ref, rtol=1e-5)
+
+    def test_silu_stable_for_large_inputs(self):
+        a = np.array([-100.0, 100.0], dtype=np.float32)
+        out = silu(Tensor(a)).numpy()
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [0.0, 100.0], atol=1e-4)
+
+    def test_tanh_grad(self):
+        check_grads(lambda a: tanh(a).sum(), [randn(6)])
+
+    def test_silu_grad(self):
+        check_grads(lambda a: silu(a).sum(), [randn(6)])
+
+    def test_gelu_grad(self):
+        check_grads(lambda a: gelu(a).sum(), [randn(6)])
+
+    def test_relu_grad(self):
+        a = randn(8) + 0.05  # keep away from the kink
+        check_grads(lambda t: (relu(t) ** 2).sum(), [a])
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        s = softmax(Tensor(randn(4, 7))).numpy()
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(4), rtol=1e-5)
+        assert (s >= 0).all()
+
+    def test_softmax_stability(self):
+        big = Tensor(np.array([[1e4, 1e4 + 1.0]], dtype=np.float32))
+        s = softmax(big).numpy()
+        assert np.isfinite(s).all()
+
+    def test_softmax_grad(self):
+        check_grads(lambda a: (softmax(a) ** 2).sum(), [randn(3, 5)])
+
+    def test_log_softmax_consistency(self):
+        x = randn(3, 6)
+        np.testing.assert_allclose(
+            log_softmax(Tensor(x)).numpy(),
+            np.log(softmax(Tensor(x)).numpy()),
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_log_softmax_grad(self):
+        check_grads(lambda a: (log_softmax(a) * log_softmax(a)).sum(), [randn(2, 4)])
+
+
+class TestCrossEntropy:
+    def test_matches_manual_nll(self):
+        logits = randn(5, 8)
+        targets = np.array([0, 3, 7, 2, 5])
+        loss = cross_entropy_logits(Tensor(logits), targets).item()
+        p = np.exp(logits - logits.max(axis=1, keepdims=True))
+        p /= p.sum(axis=1, keepdims=True)
+        ref = -np.log(p[np.arange(5), targets]).mean()
+        assert loss == pytest.approx(ref, rel=1e-4)
+
+    def test_ignore_index_masks_loss_and_grad(self):
+        logits = Tensor(randn(4, 6), requires_grad=True)
+        targets = np.array([1, -100, 2, -100])
+        loss = cross_entropy_logits(logits, targets)
+        loss.backward()
+        assert np.allclose(logits.grad[1], 0.0)
+        assert np.allclose(logits.grad[3], 0.0)
+        assert not np.allclose(logits.grad[0], 0.0)
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy_logits(Tensor(randn(2, 3)), np.array([-100, -100]))
+
+    def test_grad_matches_numeric(self):
+        targets = np.array([1, 0, 2])
+
+        def build(a):
+            return cross_entropy_logits(a, targets)
+
+        check_grads(build, [randn(3, 4)])
+
+    def test_3d_logits(self):
+        logits = Tensor(randn(2, 3, 5), requires_grad=True)
+        targets = RNG.integers(0, 5, size=(2, 3))
+        loss = cross_entropy_logits(logits, targets)
+        loss.backward()
+        assert logits.grad.shape == (2, 3, 5)
+
+
+class TestEmbeddingNormEtc:
+    def test_embedding_lookup(self):
+        w = randn(10, 4)
+        ids = np.array([[1, 2], [9, 1]])
+        np.testing.assert_allclose(embedding(Tensor(w), ids).numpy(), w[ids])
+
+    def test_embedding_grad_scatters_and_accumulates(self):
+        w = Tensor(randn(5, 3), requires_grad=True)
+        ids = np.array([1, 1, 4])
+        embedding(w, ids).sum().backward()
+        np.testing.assert_allclose(w.grad[1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(w.grad[4], [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(w.grad[0], [0.0, 0.0, 0.0])
+
+    def test_rms_norm_unit_rms(self):
+        x = randn(4, 8)
+        out = rms_norm(Tensor(x), Tensor(np.ones(8, dtype=np.float32))).numpy()
+        rms = np.sqrt((out ** 2).mean(axis=-1))
+        np.testing.assert_allclose(rms, np.ones(4), rtol=1e-3)
+
+    def test_rms_norm_grad(self):
+        check_grads(
+            lambda x, w: (rms_norm(x, w) ** 2).sum(),
+            [randn(3, 6), np.ones(6, dtype=np.float32) + 0.1 * randn(6)],
+        )
+
+    def test_dropout_train_and_eval(self):
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        rng = derive_rng(3, "drop")
+        out = dropout(x, 0.5, rng, training=True).numpy()
+        assert set(np.round(np.unique(out), 4)) <= {0.0, 2.0}
+        out_eval = dropout(x, 0.5, rng, training=False)
+        assert out_eval is x
+
+    def test_dropout_p_one_raises(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.0, derive_rng(0, "d"))
+
+    def test_where_grad_partitions(self):
+        a = Tensor(randn(5), requires_grad=True)
+        b = Tensor(randn(5), requires_grad=True)
+        cond = np.array([True, False, True, False, True])
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, cond.astype(np.float32))
+        np.testing.assert_allclose(b.grad, (~cond).astype(np.float32))
+
+
+class TestCatStack:
+    def test_cat_forward(self):
+        a, b = randn(2, 3), randn(2, 5)
+        np.testing.assert_allclose(
+            cat([Tensor(a), Tensor(b)], axis=1).numpy(), np.concatenate([a, b], axis=1)
+        )
+
+    def test_cat_grad(self):
+        check_grads(
+            lambda a, b: (cat([a, b], axis=1) ** 2).sum(), [randn(2, 3), randn(2, 2)]
+        )
+
+    def test_stack_forward_and_grad(self):
+        check_grads(
+            lambda a, b: (stack([a, b], axis=0) ** 2).sum(), [randn(3), randn(3)]
+        )
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            cat([], axis=0)
+        with pytest.raises(ValueError):
+            stack([], axis=0)

@@ -1,0 +1,92 @@
+"""Tests for the byte-level BPE tokenizer, including hypothesis
+round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenizer import BPETokenizer, SpecialTokens
+
+CORPUS = [
+    "the quick brown fox jumps over the lazy dog",
+    "the lazy dog sleeps while the quick fox runs",
+    "data races occur when two threads write the same variable",
+    "#pragma omp parallel for reduction(+:sum)",
+    "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+] * 4
+
+
+@pytest.fixture(scope="module")
+def tok():
+    t = BPETokenizer()
+    t.train(CORPUS, vocab_size=320)
+    return t
+
+
+class TestTraining:
+    def test_vocab_grows_to_target(self, tok):
+        assert tok.vocab_size == 320
+        assert tok.num_merges == 320 - 256 - len(SpecialTokens().all())
+
+    def test_training_is_deterministic(self):
+        a, b = BPETokenizer(), BPETokenizer()
+        a.train(CORPUS, vocab_size=300)
+        b.train(CORPUS, vocab_size=300)
+        assert a.encode("the quick fox") == b.encode("the quick fox")
+
+    def test_vocab_too_small_rejected(self):
+        t = BPETokenizer()
+        with pytest.raises(ValueError):
+            t.train(CORPUS, vocab_size=10)
+
+    def test_merges_shorten_frequent_text(self, tok):
+        text = "the quick brown fox"
+        assert len(tok.encode(text)) < len(text.encode("utf-8"))
+
+
+class TestEncodeDecode:
+    def test_roundtrip_corpus(self, tok):
+        for text in CORPUS[:5]:
+            assert tok.decode(tok.encode(text)) == text
+
+    def test_roundtrip_unseen_text(self, tok):
+        text = "völlig neues zeug! 完全novel"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_bos_eos(self, tok):
+        ids = tok.encode("hi", bos=True, eos=True)
+        sp = tok.special
+        assert ids[0] == sp.bos_id and ids[-1] == sp.eos_id
+        assert tok.decode(ids) == "hi"
+        assert "<s>" in tok.decode(ids, skip_special=False)
+
+    def test_unknown_id_raises(self, tok):
+        with pytest.raises(KeyError):
+            tok.decode([999999])
+
+    def test_token_count(self, tok):
+        assert tok.token_count("the quick fox") == len(tok.encode("the quick fox"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(min_size=0, max_size=80))
+    def test_roundtrip_property(self, tok, text):
+        assert tok.decode(tok.encode(text)) == text
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="abcdefgh ", min_size=1, max_size=40))
+    def test_encode_deterministic_property(self, tok, text):
+        assert tok.encode(text) == tok.encode(text)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tok, tmp_path):
+        tok.save(tmp_path / "tok.json")
+        loaded = BPETokenizer.load(tmp_path / "tok.json")
+        for text in CORPUS[:3] + ["never seen sentence"]:
+            assert loaded.encode(text) == tok.encode(text)
+
+    def test_special_ids_stable(self):
+        sp = SpecialTokens()
+        assert (sp.pad_id, sp.bos_id, sp.eos_id, sp.unk_id) == (0, 1, 2, 3)
+        assert (sp.inst_open_id, sp.inst_close_id) == (4, 5)
