@@ -50,6 +50,20 @@ class Detector:
     def detect(self, spec: KernelSpec, traces: list[Trace] | None = None) -> Verdict:
         raise NotImplementedError
 
+    def detect_many(
+        self,
+        specs: list[KernelSpec],
+        traces_list: "list[list[Trace] | None] | None" = None,
+    ) -> list[Verdict]:
+        """Verdicts for a batch of (supported) programs.
+
+        The default loops :meth:`detect`; LLM detectors override this to
+        route the whole batch through the inference engine in a few
+        batched forwards.
+        """
+        traces_list = traces_list or [None] * len(specs)
+        return [self.detect(spec, traces) for spec, traces in zip(specs, traces_list)]
+
     def run(self, spec: KernelSpec, traces: list[Trace] | None = None) -> ToolResult:
         """Support check + detection, packaged."""
         if not self.supports(spec):
@@ -58,3 +72,29 @@ class Detector:
         if not isinstance(verdict, Verdict):
             raise TypeError(f"{self.name}.detect returned {verdict!r}")
         return ToolResult(self.name, spec.id, verdict)
+
+    def run_many(
+        self,
+        specs: list[KernelSpec],
+        traces_list: "list[list[Trace] | None] | None" = None,
+    ) -> list[ToolResult]:
+        """Batched :meth:`run`: support checks, then one
+        :meth:`detect_many` call over the supported programs."""
+        traces_list = list(traces_list) if traces_list is not None else [None] * len(specs)
+        results: list[ToolResult | None] = [None] * len(specs)
+        supported = [i for i, spec in enumerate(specs) if self.supports(spec)]
+        verdicts = (
+            self.detect_many(
+                [specs[i] for i in supported], [traces_list[i] for i in supported]
+            )
+            if supported
+            else []
+        )
+        for i, verdict in zip(supported, verdicts):
+            if not isinstance(verdict, Verdict):
+                raise TypeError(f"{self.name}.detect_many returned {verdict!r}")
+            results[i] = ToolResult(self.name, specs[i].id, verdict)
+        for i, spec in enumerate(specs):
+            if results[i] is None:
+                results[i] = ToolResult(self.name, spec.id, Verdict.UNSUPPORTED)
+        return results

@@ -30,7 +30,8 @@ from repro.datagen.prompts import race_instruction
 from repro.detectors.base import Detector, Verdict
 from repro.drb.generator import KernelSpec
 from repro.llm.chat import ChatFormat
-from repro.llm.generation import GenerationConfig, generate
+from repro.llm.engine import InferenceEngine
+from repro.llm.generation import GenerationConfig
 from repro.llm.model import CausalLM
 from repro.runtime.interpreter import Trace
 from repro.tokenizer import BPETokenizer
@@ -77,21 +78,11 @@ class _TokenBudgetMixin(Detector):
 
 def yes_no_margin(model: CausalLM, tokenizer: BPETokenizer, instruction: str) -> float:
     """Log-odds style margin: logit(" yes") - logit(" no") at the answer
-    position of the chat prompt (left-truncated to the model context)."""
-    import numpy as np
+    position of the chat prompt (left-truncated to the model context).
 
-    from repro.tensor import no_grad
-
-    chat = ChatFormat(tokenizer)
-    ids = chat.prompt_ids(instruction)
-    limit = model.config.max_seq_len - 1
-    if len(ids) > limit:
-        ids = ids[-limit:]
-    yes_id = tokenizer.encode(" yes")[0]
-    no_id = tokenizer.encode(" no")[0]
-    with no_grad():
-        logits = model.forward(np.asarray(ids)).numpy()[0, -1]
-    return float(logits[yes_id] - logits[no_id])
+    Single-item wrapper over :meth:`InferenceEngine.yes_no_margins`.
+    """
+    return InferenceEngine(model, tokenizer).yes_no_margins([instruction])[0]
 
 
 class LLMBaseModelDetector(_TokenBudgetMixin):
@@ -106,20 +97,29 @@ class LLMBaseModelDetector(_TokenBudgetMixin):
         self.name = name
         self.model = model
         self.chat = ChatFormat(tokenizer)
+        self.engine = InferenceEngine(model, tokenizer)
 
-    def detect(self, spec: KernelSpec, traces: list[Trace] | None = None) -> Verdict:
+    def _prompt_ids(self, spec: KernelSpec) -> list[int]:
         prompt_ids = self.chat.prompt_ids(race_prompt(spec))
         limit = self.model.config.max_seq_len - 16
-        if len(prompt_ids) > limit:
-            prompt_ids = prompt_ids[-limit:]
-        out_ids = generate(
-            self.model,
-            self.tokenizer,
-            prompt_ids,
+        return prompt_ids[-limit:] if len(prompt_ids) > limit else prompt_ids
+
+    def detect(self, spec: KernelSpec, traces: list[Trace] | None = None) -> Verdict:
+        return self.detect_many([spec])[0]
+
+    def detect_many(
+        self,
+        specs: list[KernelSpec],
+        traces_list: "list[list[Trace] | None] | None" = None,
+    ) -> list[Verdict]:
+        outs = self.engine.generate_many(
+            [self._prompt_ids(s) for s in specs],
             GenerationConfig(max_new_tokens=8, temperature=0.0),
         )
-        answer = parse_yes_no(self.tokenizer.decode(out_ids))
-        return Verdict.RACE if answer == "yes" else Verdict.NO_RACE
+        return [
+            Verdict.RACE if parse_yes_no(self.tokenizer.decode(o)) == "yes" else Verdict.NO_RACE
+            for o in outs
+        ]
 
 
 class HPCGPTDetector(_TokenBudgetMixin):
@@ -141,10 +141,20 @@ class HPCGPTDetector(_TokenBudgetMixin):
         self.name = name
         self.model = model
         self.threshold = threshold
+        self.engine = InferenceEngine(model, tokenizer)
 
     def detect(self, spec: KernelSpec, traces: list[Trace] | None = None) -> Verdict:
-        m = yes_no_margin(self.model, self.tokenizer, race_prompt(spec))
-        return Verdict.RACE if m >= self.threshold else Verdict.NO_RACE
+        return self.detect_many([spec])[0]
+
+    def detect_many(
+        self,
+        specs: list[KernelSpec],
+        traces_list: "list[list[Trace] | None] | None" = None,
+    ) -> list[Verdict]:
+        margins = self.engine.yes_no_margins([race_prompt(s) for s in specs])
+        return [
+            Verdict.RACE if m >= self.threshold else Verdict.NO_RACE for m in margins
+        ]
 
 
 class ChunkedHPCGPTDetector(HPCGPTDetector):
@@ -192,12 +202,24 @@ class ChunkedHPCGPTDetector(HPCGPTDetector):
             segments.append("".join(current))
         return segments
 
-    def detect(self, spec: KernelSpec, traces: list[Trace] | None = None) -> Verdict:
-        for segment in self._segments(spec.source):
-            m = yes_no_margin(self.model, self.tokenizer, race_instruction(segment, spec.language))
-            if m >= self.threshold:
-                return Verdict.RACE
-        return Verdict.NO_RACE
+    def detect_many(
+        self,
+        specs: list[KernelSpec],
+        traces_list: "list[list[Trace] | None] | None" = None,
+    ) -> list[Verdict]:
+        # Flatten every program's segments into one scoring batch; a
+        # program is racy iff any of its segments crosses the threshold.
+        owners: list[int] = []
+        instructions: list[str] = []
+        for idx, spec in enumerate(specs):
+            for segment in self._segments(spec.source):
+                owners.append(idx)
+                instructions.append(race_instruction(segment, spec.language))
+        margins = self.engine.yes_no_margins(instructions)
+        racy = {idx for idx, m in zip(owners, margins) if m >= self.threshold}
+        return [
+            Verdict.RACE if idx in racy else Verdict.NO_RACE for idx in range(len(specs))
+        ]
 
 
 # -- commercial comparator sims ------------------------------------------------

@@ -69,18 +69,24 @@ class EvaluationHarness:
 
     def run(self, detectors: list[Detector], languages: tuple[str, ...] = ("C/C++", "Fortran")) -> HarnessOutput:
         """Evaluate every detector on every program of the requested
-        languages; returns raw results and metric rows per language."""
+        languages; returns raw results and metric rows per language.
+
+        Each detector sees the whole language slice at once via
+        ``run_many``, so LLM-based rows decode/score in batches through
+        the inference engine instead of one program at a time.
+        """
         out = HarnessOutput()
         labels = self.suite.labels()
         for language in languages:
             specs = self.suite.by_language(language)
             for det in detectors:
-                results: list[ToolResult] = []
-                for spec in specs:
-                    traces = (
-                        self.traces_for(spec) if det.kind == "dynamic" and det.supports(spec) else None
-                    )
-                    results.append(det.run(spec, traces))
+                traces_list = [
+                    self.traces_for(spec)
+                    if det.kind == "dynamic" and det.supports(spec)
+                    else None
+                    for spec in specs
+                ]
+                results: list[ToolResult] = det.run_many(specs, traces_list)
                 key = f"{det.name}|{language}"
                 out.results[key] = results
                 out.rows.append(compute_metrics(det.name, language, results, labels))

@@ -155,10 +155,26 @@ class Task1Evaluator:
         )
 
     def score(self, method_name: str, answer_fn: Callable[[str], str | None]) -> Task1Score:
+        """Score one answering method.
+
+        When ``answer_fn`` exposes a ``batch`` attribute — a callable
+        mapping a list of questions to a list of answers — all questions
+        are answered in one batched call (the engine-backed HPC-GPT
+        methods do), otherwise questions are asked one at a time.
+        """
+        batch_fn = getattr(answer_fn, "batch", None)
+        if batch_fn is not None:
+            answers = batch_fn([ex.question for ex in self.examples])
+            if len(answers) != len(self.examples):
+                raise ValueError(
+                    f"{method_name}.batch returned {len(answers)} answers "
+                    f"for {len(self.examples)} questions"
+                )
+        else:
+            answers = [answer_fn(ex.question) for ex in self.examples]
         correct = 0
         answered = 0
-        for ex in self.examples:
-            ans = answer_fn(ex.question)
+        for ex, ans in zip(self.examples, answers):
             if ans is None or not str(ans).strip():
                 continue
             answered += 1

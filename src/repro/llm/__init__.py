@@ -5,6 +5,7 @@ model registry (the reproduction's stand-ins for LLaMA/LLaMA-2 13B).
 
 from repro.llm.model import CausalLM, ModelConfig
 from repro.llm.generation import GenerationConfig, generate
+from repro.llm.engine import InferenceEngine, MicroBatcher
 from repro.llm.chat import ChatFormat
 from repro.llm.pretrain import PretrainConfig, build_general_corpus, pretrain
 from repro.llm.registry import ModelRegistry
@@ -14,6 +15,8 @@ __all__ = [
     "ModelConfig",
     "GenerationConfig",
     "generate",
+    "InferenceEngine",
+    "MicroBatcher",
     "ChatFormat",
     "PretrainConfig",
     "build_general_corpus",

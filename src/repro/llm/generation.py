@@ -1,5 +1,10 @@
-"""Autoregressive decoding: greedy and temperature/top-k sampling with a
-KV cache so each new token costs one forward step over one position.
+"""Single-sequence decoding API: greedy and temperature/top-k sampling.
+
+This module keeps the decoding *policy* (:class:`GenerationConfig`,
+:func:`_sample_from_logits`) and a thin single-item wrapper; the actual
+decode loop — batched prefill + incremental KV-cache decode — lives in
+:class:`repro.llm.engine.InferenceEngine`, the one decode path shared by
+generation, scoring, evaluation, and serving.
 """
 
 from __future__ import annotations
@@ -9,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.llm.model import CausalLM
-from repro.tensor import no_grad
 from repro.tokenizer import BPETokenizer
 
 
@@ -55,36 +59,17 @@ def generate(
 ) -> list[int]:
     """Generate a continuation for ``prompt_ids``; returns only the new ids.
 
-    The prompt is processed in a single batched forward (prefill), then
-    tokens decode one at a time against the KV cache.
+    Thin single-item wrapper over the batched engine: a batch of one
+    prefills in one forward, then decodes one token per step against the
+    KV cache.  Over-long prompts keep their most recent context window;
+    the HPC-GPT token-limit experiments rely on the *tokenizer-level*
+    budget instead, so that clamp is a safety net.
     """
-    config = config or GenerationConfig()
-    if not prompt_ids:
-        raise ValueError("empty prompt")
-    max_ctx = model.config.max_seq_len
-    if len(prompt_ids) >= max_ctx:
-        # Keep the most recent context window; the HPC-GPT token-limit
-        # experiments rely on the *tokenizer-level* budget instead, so
-        # this path is a safety net.
-        prompt_ids = prompt_ids[-(max_ctx - config.max_new_tokens - 1):]
+    from repro.llm.engine import InferenceEngine
 
-    model.eval()
-    eos = tokenizer.special.eos_id
-    out: list[int] = []
-    with no_grad():
-        caches = model.new_caches()
-        logits = model.forward(np.asarray(prompt_ids), caches=caches)
-        step_logits = logits.numpy()[0, -1]
-        for _ in range(config.max_new_tokens):
-            nxt = _sample_from_logits(step_logits, config, rng)
-            if config.stop_at_eos and nxt == eos:
-                break
-            out.append(nxt)
-            if caches[0].length + 1 >= max_ctx:
-                break
-            logits = model.forward(np.asarray([nxt]), caches=caches)
-            step_logits = logits.numpy()[0, -1]
-    return out
+    return InferenceEngine(model, tokenizer).generate_batch(
+        [list(prompt_ids)], config=config, rng=rng
+    )[0]
 
 
 def generate_text(

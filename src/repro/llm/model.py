@@ -63,9 +63,17 @@ class CausalLM(Module):
 
     # -- caches -------------------------------------------------------------
 
-    def new_caches(self) -> list[KVCache]:
-        """One empty KV cache per block (incremental decoding state)."""
-        return [KVCache() for _ in range(self.config.n_layers)]
+    def new_caches(self, reserve: int = 0) -> list[KVCache]:
+        """One empty KV cache per block (incremental decoding state).
+
+        ``reserve`` hints the final sequence length so each cache's
+        buffer allocates once instead of growing during decode.
+        """
+        caches = [KVCache() for _ in range(self.config.n_layers)]
+        if reserve:
+            for cache in caches:
+                cache.reserve(reserve)
+        return caches
 
     def _blocks(self) -> list[TransformerBlock]:
         return [getattr(self, f"block{i}") for i in range(self.config.n_layers)]
@@ -77,8 +85,10 @@ class CausalLM(Module):
         ids: np.ndarray,
         caches: list[KVCache] | None = None,
         attn_mask: np.ndarray | None = None,
+        positions: np.ndarray | None = None,
+        q_tail: int | None = None,
     ) -> Tensor:
-        """Return logits of shape (B, T, vocab).
+        """Return logits of shape (B, T, vocab) — or (B, q_tail, vocab).
 
         Parameters
         ----------
@@ -90,6 +100,16 @@ class CausalLM(Module):
         attn_mask:
             Optional additive attention mask broadcastable to
             (B, H, T_q, T_k); defaults to causal.
+        positions:
+            Optional per-token absolute RoPE positions, shape (B, T) or
+            (T,) — used by the batched engine for left-padded rows with
+            per-sequence lengths.
+        q_tail:
+            If set, only the last ``q_tail`` positions run through the
+            final block's queries, the norm, and the LM head.  Next-token
+            scoring and prefill need just the last position's logits, and
+            this prunes the largest per-token costs of producing them.
+            KV caches (when given) still record every position.
         """
         ids = np.asarray(ids)
         if ids.ndim == 1:
@@ -97,8 +117,16 @@ class CausalLM(Module):
         x = self.tok_emb(ids)
         blocks = self._blocks()
         layer_caches = caches if caches is not None else [None] * len(blocks)
-        for block, cache in zip(blocks, layer_caches):
-            x = block(x, self.rope, cache=cache, attn_mask=attn_mask)
+        last = len(blocks) - 1
+        for i, (block, cache) in enumerate(zip(blocks, layer_caches)):
+            x = block(
+                x,
+                self.rope,
+                cache=cache,
+                attn_mask=attn_mask,
+                positions=positions,
+                q_tail=q_tail if i == last else None,
+            )
         x = self.norm(x)
         if self.lm_head is not None:
             return self.lm_head(x)

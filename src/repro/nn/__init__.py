@@ -8,7 +8,13 @@ optimizers, LR schedules, and checkpoint (de)serialization.
 
 from repro.nn.module import Module, Parameter, ParameterDict
 from repro.nn.layers import Embedding, Linear, RMSNorm
-from repro.nn.attention import MultiHeadAttention, RotaryEmbedding, causal_mask
+from repro.nn.attention import (
+    KVCache,
+    MultiHeadAttention,
+    RotaryEmbedding,
+    causal_mask,
+    padding_causal_mask,
+)
 from repro.nn.transformer import SwiGLU, TransformerBlock
 from repro.nn.lora import LoRAConfig, LoRALinear, apply_lora, lora_state, merge_lora
 from repro.nn.optim import SGD, AdamW, GradClipper, Optimizer
@@ -22,9 +28,11 @@ __all__ = [
     "Embedding",
     "Linear",
     "RMSNorm",
+    "KVCache",
     "MultiHeadAttention",
     "RotaryEmbedding",
     "causal_mask",
+    "padding_causal_mask",
     "SwiGLU",
     "TransformerBlock",
     "LoRAConfig",

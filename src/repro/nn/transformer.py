@@ -45,7 +45,21 @@ class TransformerBlock(Module):
         rope: RotaryEmbedding,
         cache: KVCache | None = None,
         attn_mask: np.ndarray | None = None,
+        positions: np.ndarray | None = None,
+        q_tail: int | None = None,
     ) -> Tensor:
-        x = x + self.attn(self.attn_norm(x), rope, cache=cache, attn_mask=attn_mask)
+        """Residual block; with ``q_tail`` the output covers only the last
+        ``q_tail`` positions (attention keys still span all of ``x``)."""
+        h = self.attn(
+            self.attn_norm(x),
+            rope,
+            cache=cache,
+            attn_mask=attn_mask,
+            positions=positions,
+            q_tail=q_tail,
+        )
+        if q_tail is not None and q_tail < x.shape[1]:
+            x = x[:, x.shape[1] - q_tail :]
+        x = x + h
         x = x + self.mlp(self.mlp_norm(x))
         return x

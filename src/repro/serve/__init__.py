@@ -3,6 +3,7 @@ plus a minimal GUI, and a matching client."""
 
 from repro.serve.server import (
     HPCGPTRequestHandler,
+    ServingFrontend,
     make_server,
     serve_forever,
     start_background,
@@ -11,6 +12,7 @@ from repro.serve.client import HPCGPTClient
 
 __all__ = [
     "HPCGPTRequestHandler",
+    "ServingFrontend",
     "make_server",
     "serve_forever",
     "start_background",

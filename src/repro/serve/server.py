@@ -6,6 +6,13 @@ Endpoints (JSON over HTTP, stdlib ``http.server`` — no dependencies):
 * ``GET  /health``      — liveness + model metadata;
 * ``POST /api/answer``  — ``{"question": ...}`` -> Task-1 answer;
 * ``POST /api/detect``  — ``{"code": ..., "language": ...}`` -> yes/no.
+
+``ThreadingHTTPServer`` handles each request on its own thread, so
+requests are funnelled through a :class:`ServingFrontend`: first-touch
+model builds are serialised behind the system's build lock, and
+concurrent inference requests are micro-batched — collected for a few
+milliseconds and decoded together through the batched engine — instead
+of racing unsynchronised threads into a shared model.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.llm.engine import MicroBatcher
 
 _GUI_HTML = """<!doctype html>
 <html><head><title>HPC-GPT</title></head>
@@ -38,10 +47,85 @@ async function detect(e){e.preventDefault();
 """
 
 
-class HPCGPTRequestHandler(BaseHTTPRequestHandler):
-    """Dispatches API requests to the bound :class:`HPCGPTSystem`."""
+class ServingFrontend:
+    """Thread-safe facade between the HTTP handlers and the system.
 
-    system = None  # injected by make_server
+    Two micro-batching queues (one per op kind) gather concurrent
+    requests for ``window_ms`` and serve each gathered batch in one
+    batched call — ``answer_batch`` / ``detect_race_batch`` when the
+    system provides them (the engine-backed :class:`HPCGPTSystem` does),
+    falling back to per-item calls otherwise (e.g. test stubs).  One
+    lock serialises *every* touch of the system — the two queue workers
+    and the ``/health`` path — so lazy first-request builds can never
+    interleave (even for systems without their own build lock) and the
+    model only ever runs one forward at a time.
+    """
+
+    def __init__(self, system, window_ms: float = 5.0, max_batch: int = 16) -> None:
+        self.system = system
+        self._system_lock = threading.Lock()
+        self._answer_queue = MicroBatcher(self._answer_many, window_ms, max_batch)
+        self._detect_queue = MicroBatcher(self._detect_many, window_ms, max_batch)
+
+    # -- batch runners (worker threads) --------------------------------------
+
+    def _run_grouped(self, items, batched, single, kwarg: str) -> list:
+        """Dispatch ``(payload, key)`` items: group by key and run one
+        batched call per group, or fall back to per-item calls."""
+        with self._system_lock:
+            if batched is None:
+                return [single(payload, **{kwarg: key}) for payload, key in items]
+            results: list = [None] * len(items)
+            groups: dict[str, list[int]] = {}
+            for idx, (_, key) in enumerate(items):
+                groups.setdefault(key, []).append(idx)
+            for key, idxs in groups.items():
+                outs = batched([items[i][0] for i in idxs], **{kwarg: key})
+                if len(outs) != len(idxs):
+                    raise RuntimeError(
+                        f"batched call returned {len(outs)} results for {len(idxs)} items"
+                    )
+                for i, out in zip(idxs, outs):
+                    results[i] = out
+            return results
+
+    def _answer_many(self, items: list[tuple[str, str]]) -> list[str]:
+        return self._run_grouped(
+            items,
+            getattr(self.system, "answer_batch", None),
+            self.system.answer,
+            "version",
+        )
+
+    def _detect_many(self, items: list[tuple[str, str]]) -> list[str]:
+        return self._run_grouped(
+            items,
+            getattr(self.system, "detect_race_batch", None),
+            self.system.detect_race,
+            "language",
+        )
+
+    # -- request API (handler threads) ---------------------------------------
+
+    def answer(self, question: str, version: str = "l2") -> str:
+        return self._answer_queue.submit((question, version))
+
+    def detect(self, code: str, language: str = "C/C++") -> str:
+        return self._detect_queue.submit((code, language))
+
+    def finetuned(self, version: str = "l2"):
+        with self._system_lock:
+            return self.system.finetuned(version)
+
+    def close(self) -> None:
+        self._answer_queue.close()
+        self._detect_queue.close()
+
+
+class HPCGPTRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches API requests to the bound :class:`ServingFrontend`."""
+
+    frontend: ServingFrontend = None  # injected by make_server
     protocol_version = "HTTP/1.1"
 
     # -- helpers -----------------------------------------------------------
@@ -72,7 +156,7 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/":
             self._send(200, _GUI_HTML, content_type="text/html")
         elif self.path == "/health":
-            model = self.system.finetuned("l2")
+            model = self.frontend.finetuned("l2")
             self._send(
                 200,
                 {
@@ -97,7 +181,7 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
                 self._send(400, {"error": "missing 'question'"})
                 return
             version = payload.get("version", "l2")
-            answer = self.system.answer(question, version=version)
+            answer = self.frontend.answer(question, version=version)
             self._send(200, {"question": question, "answer": answer, "version": version})
         elif self.path == "/api/detect":
             code = payload.get("code", "")
@@ -105,19 +189,30 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
                 self._send(400, {"error": "missing 'code'"})
                 return
             language = payload.get("language", "C/C++")
-            verdict = self.system.detect_race(code, language=language)
+            verdict = self.frontend.detect(code, language=language)
             self._send(200, {"language": language, "data_race": verdict})
         else:
             self._send(404, {"error": f"unknown path {self.path}"})
 
 
-def make_server(system, host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+def make_server(
+    system,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    window_ms: float = 5.0,
+    max_batch: int = 16,
+) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server bound to ``system``.
 
     ``port=0`` picks a free port (inspect ``server.server_address``).
+    The returned server exposes the micro-batching facade as
+    ``server.frontend`` (``server.frontend.close()`` drains it).
     """
-    handler = type("BoundHandler", (HPCGPTRequestHandler,), {"system": system})
-    return ThreadingHTTPServer((host, port), handler)
+    frontend = ServingFrontend(system, window_ms=window_ms, max_batch=max_batch)
+    handler = type("BoundHandler", (HPCGPTRequestHandler,), {"frontend": frontend})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.frontend = frontend
+    return server
 
 
 def serve_forever(system, host: str = "127.0.0.1", port: int = 8080):

@@ -24,6 +24,7 @@ from repro.tensor.ops import (
     embedding,
     gelu,
     log_softmax,
+    masked_softmax,
     relu,
     rms_norm,
     silu,
@@ -43,6 +44,7 @@ __all__ = [
     "embedding",
     "gelu",
     "log_softmax",
+    "masked_softmax",
     "relu",
     "rms_norm",
     "silu",

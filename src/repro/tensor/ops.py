@@ -32,14 +32,21 @@ def tanh(x: Tensor) -> Tensor:
     return Tensor._op(out_data, (x,), backward)
 
 
+try:  # single-pass C ufunc; ships with the scipy already in the image
+    from scipy.special import expit as _expit
+except ImportError:  # pragma: no cover - scipy is a baked-in dependency
+    _expit = None
+
+
 def _sigmoid(z: np.ndarray) -> np.ndarray:
-    # Stable sigmoid: avoid overflow in exp for large |z|.
-    out = np.empty_like(z)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
-    out[~pos] = ez / (1.0 + ez)
-    return out
+    # Stable sigmoid.  scipy's expit is one fused pass; the fallback is a
+    # branchless vector form (exp(-|z|) never overflows) — either way far
+    # cheaper than the boolean fancy-indexing variant this replaces,
+    # which cost ~4x in memory traffic and topped inference profiles.
+    if _expit is not None:
+        return _expit(z)
+    e = np.exp(-np.abs(z))
+    return np.where(z >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
 
 
 def silu(x: Tensor) -> Tensor:
@@ -69,17 +76,52 @@ def gelu(x: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically-stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out_data = e / e.sum(axis=axis, keepdims=True)
+    """Numerically-stable softmax along ``axis`` (in-place temporaries)."""
+    z = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(z, out=z)
+    z /= z.sum(axis=axis, keepdims=True)
+    out_data = z
 
     def backward(g: np.ndarray):
         # dL/dx = s * (g - sum(g*s))
         dot = (g * out_data).sum(axis=axis, keepdims=True)
         return [(x, out_data * (g - dot))]
 
-    return Tensor._op(out_data.astype(x.dtype), (x,), backward)
+    return Tensor._op(out_data.astype(x.dtype, copy=False), (x,), backward)
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray | None, scale: float | None = None) -> Tensor:
+    """Fused ``softmax(x * scale + mask)`` along the last axis.
+
+    This is the attention-probabilities kernel: ``x`` is the raw score
+    tensor (B, H, T_q, T_k) — the largest activation of the forward — so
+    folding the additive mask and the softmax normalisation into in-place
+    passes over one temporary is a measurable bandwidth win on the CPU
+    substrate.  ``scale=None`` means the caller already scaled the scores
+    (attention folds 1/sqrt(d) into the much smaller ``q``), skipping a
+    full pass over the T_q x T_k tensor.
+    """
+    if scale is not None:
+        z = x.data * np.float32(scale)
+        if mask is not None:
+            z += mask
+    elif mask is not None:
+        z = x.data + mask
+    else:
+        z = x.data.copy()
+    z -= z.max(axis=-1, keepdims=True)
+    np.exp(z, out=z)
+    z /= z.sum(axis=-1, keepdims=True)
+    out_data = z
+
+    def backward(g: np.ndarray):
+        dot = (g * out_data).sum(axis=-1, keepdims=True)
+        grad = out_data * (g - dot)
+        if scale is not None:
+            grad *= np.float32(scale)
+        return [(x, grad)]
+
+    return Tensor._op(out_data.astype(x.dtype, copy=False), (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -187,7 +229,8 @@ def rope_rotate(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
     """Fused rotary-position rotation.
 
     ``x`` has shape (B, H, T, D) with D even; ``cos``/``sin`` have shape
-    (T, D/2) and are constants.  Channel pairs (2k, 2k+1) rotate by the
+    (T, D/2) — or (B, T, D/2) for per-row positions, as in a left-padded
+    batch — and are constants.  Channel pairs (2k, 2k+1) rotate by the
     position angle.  Fusing this (instead of composing getitem/stack
     nodes) is the single biggest training-speed lever on CPU.
     """
@@ -195,8 +238,12 @@ def rope_rotate(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
     x4 = x.data.reshape(b, h, t, d // 2, 2)
     e = x4[..., 0]
     o = x4[..., 1]
-    c = cos[None, None, :, :]
-    s = sin[None, None, :, :]
+    if cos.ndim == 2:
+        c = cos[None, None, :, :]
+        s = sin[None, None, :, :]
+    else:
+        c = cos[:, None, :, :]
+        s = sin[:, None, :, :]
     out = np.empty_like(x4)
     out[..., 0] = e * c - o * s
     out[..., 1] = e * s + o * c

@@ -129,6 +129,56 @@ class TestBaseModelDetector:
         assert 0.2 <= ok / len(specs) <= 0.8
 
 
+class TestBatchedVerdictParity:
+    """The engine acceptance bar: batched detection yields identical
+    verdicts to the per-program (sequential) path."""
+
+    def _sample(self, suite, n=12):
+        supported = [s for s in suite.specs if "oversize" not in s.features]
+        return supported[:n]
+
+    def test_hpcgpt_detector_batch_matches_sequential(self, suite, tok, tiny_model):
+        det = HPCGPTDetector("hg", tiny_model, tok, threshold=0.0)
+        specs = self._sample(suite)
+        batched = det.detect_many(specs)
+        sequential = [det.detect(s) for s in specs]
+        assert batched == sequential
+
+    def test_base_model_detector_batch_matches_sequential(self, suite, tok, tiny_model):
+        det = LLMBaseModelDetector("LLaMa", tiny_model, tok)
+        specs = self._sample(suite, n=8)
+        batched = det.detect_many(specs)
+        sequential = [det.detect(s) for s in specs]
+        assert batched == sequential
+
+    def test_run_many_matches_run(self, suite, tok, tiny_model):
+        det = HPCGPTDetector("hg", tiny_model, tok, threshold=0.0)
+        specs = suite.specs[:16]  # includes unsupported oversize programs
+        batched = det.run_many(specs)
+        sequential = [det.run(s) for s in specs]
+        assert batched == sequential
+
+    def test_heuristic_detector_run_many_matches_run(self, suite, tok):
+        det = GPTHeuristicDetector("GPT-4", "gpt-4", tok)
+        specs = suite.specs[:16]
+        assert det.run_many(specs) == [det.run(s) for s in specs]
+
+    def test_run_many_all_unsupported(self, suite, tok, tiny_model):
+        """A batch where no program fits the token budget must yield
+        UNSUPPORTED rows, not crash the batched scorer."""
+        det = HPCGPTDetector("hg", tiny_model, tok, threshold=0.0)
+        oversize = [s for s in suite.specs if "oversize" in s.features][:4]
+        assert oversize and not any(det.supports(s) for s in oversize)
+        results = det.run_many(oversize)
+        assert [r.verdict for r in results] == [Verdict.UNSUPPORTED] * len(oversize)
+
+    def test_empty_batches_are_empty(self, suite, tok, tiny_model):
+        det = HPCGPTDetector("hg", tiny_model, tok, threshold=0.0)
+        assert det.run_many([]) == []
+        assert det.detect_many([]) == []
+        assert det.engine.yes_no_margins([]) == []
+
+
 class TestHPCGPTDetector:
     def test_margin_threshold_behaviour(self, suite, tok, tiny_model):
         s = next(s for s in suite.specs if "oversize" not in s.features)

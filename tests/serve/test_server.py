@@ -2,12 +2,13 @@
 so no training happens in unit tests."""
 
 import json
+import threading
 import urllib.request
 
 import pytest
 
 from repro.serve import HPCGPTClient
-from repro.serve.server import start_background
+from repro.serve.server import ServingFrontend, start_background
 
 
 class StubSystem:
@@ -82,3 +83,81 @@ class TestServer:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(server_url + "/nope")
         assert err.value.code == 404
+
+
+class BatchStubSystem(StubSystem):
+    """Stub exposing the batched surface the engine-backed system has,
+    recording the batch widths the frontend forms."""
+
+    def __init__(self):
+        self.answer_batches = []
+        self.detect_batches = []
+        self.build_entries = 0
+        self.concurrent_builds = 0
+        self._in_build = threading.Semaphore(1)
+
+    def finetuned(self, version="l2"):
+        # Record whether two builds ever overlap (the seed's race).
+        if not self._in_build.acquire(blocking=False):
+            self.concurrent_builds += 1
+        else:
+            self.build_entries += 1
+            self._in_build.release()
+        return self._Model()
+
+    def answer_batch(self, questions, version="l2", max_new_tokens=40):
+        self.answer_batches.append(len(questions))
+        return [f"batched[{version}]: {q}" for q in questions]
+
+    def detect_race_batch(self, codes, language="C/C++", version="l2"):
+        self.detect_batches.append(len(codes))
+        return ["yes" if "parallel" in c else "no" for c in codes]
+
+
+class TestMicroBatchedServing:
+    @pytest.fixture()
+    def batch_server(self):
+        system = BatchStubSystem()
+        server, _ = start_background(system)
+        host, port = server.server_address
+        yield system, f"http://{host}:{port}", server
+        server.frontend.close()
+        server.shutdown()
+
+    def test_concurrent_requests_share_batches(self, batch_server):
+        system, url, _ = batch_server
+        client = HPCGPTClient(url)
+        n = 8
+        results = {}
+        gate = threading.Barrier(n, timeout=5.0)
+
+        def ask(i):
+            gate.wait()
+            results[i] = client.answer(f"q{i}")
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert results == {i: f"batched[l2]: q{i}" for i in range(n)}
+        assert sum(system.answer_batches) == n
+        # At least one micro-batch gathered more than one request.
+        assert max(system.answer_batches) > 1
+
+    def test_detect_routes_through_batched_path(self, batch_server):
+        system, url, _ = batch_server
+        client = HPCGPTClient(url)
+        assert client.detect("#pragma omp parallel for") == "yes"
+        assert client.detect("serial") == "no"
+        assert system.detect_batches == [1, 1]
+
+
+class TestServingFrontendFallback:
+    def test_per_item_fallback_without_batch_api(self):
+        frontend = ServingFrontend(StubSystem(), window_ms=1.0)
+        try:
+            assert frontend.answer("hi") == "stub answer to: hi"
+            assert frontend.detect("#pragma omp parallel for x") == "yes"
+        finally:
+            frontend.close()
