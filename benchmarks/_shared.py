@@ -33,6 +33,14 @@ def preset():
     return SMALL_PRESET if os.environ.get("REPRO_BENCH_PRESET") == "small" else PAPER_PRESET
 
 
+def paper_shape() -> bool:
+    """Whether paper-shape assertions apply: Table-5 composition claims
+    (counts, TSR fractions, accuracy orderings) only hold at the paper
+    preset — the small preset exists to smoke-test the harness, and its
+    tiny models make those shapes seed-noise."""
+    return preset() is PAPER_PRESET
+
+
 def system() -> HPCGPTSystem:
     global _SYSTEM
     if _SYSTEM is None:

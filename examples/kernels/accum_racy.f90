@@ -1,0 +1,9 @@
+! Unprotected shared accumulator: every iteration updates t0.
+integer :: i
+real :: t0
+real :: b(80)
+!$omp parallel do
+do i = 1, 80
+  t0 = t0 + b(i)
+end do
+!$omp end parallel do

@@ -1,0 +1,8 @@
+/* The shared accumulator is protected by a reduction clause. */
+int i;
+double s;
+double z[64];
+#pragma omp parallel for reduction(+:s)
+for (i = 0; i < 64; i++) {
+  s += z[i];
+}

@@ -1,0 +1,8 @@
+/* Loop-carried dependence: y[i] reads y[i-1] written by a neighbour
+ * iteration — a data race under the parallel-for schedule. */
+int i;
+double y[64], x[64];
+#pragma omp parallel for
+for (i = 1; i < 64; i++) {
+  y[i] = y[i-1] + x[i];
+}

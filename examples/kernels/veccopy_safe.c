@@ -1,0 +1,7 @@
+/* Independent iterations: each i touches only its own elements. */
+int i;
+double a[64], b[64];
+#pragma omp parallel for
+for (i = 0; i < 64; i++) {
+  a[i] = b[i];
+}

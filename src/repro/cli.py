@@ -5,6 +5,7 @@ Commands
 ``build``    collect data and fine-tune both HPC-GPT variants
 ``ask``      answer a Task-1 question
 ``detect``   classify a kernel file (or stdin) for data races
+``scan``     scan a whole source tree for data races (JSON/SARIF reports)
 ``eval``     run the Table-5 evaluation and print both blocks
 ``serve``    start the web API/GUI
 ``export``   write the DataRaceBench-equivalent suite to a directory
@@ -16,10 +17,20 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.utils.languages import UnknownLanguageError, normalize_language
+
 
 def _add_preset_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--preset", choices=["small", "paper"], default="small",
                    help="model/data scale (small: ~1 min build; paper: ~10 min)")
+
+
+def _language_arg(name: str) -> str:
+    """Argparse type: accept any language alias, canonicalise it."""
+    try:
+        return normalize_language(name)
+    except UnknownLanguageError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _make_system(preset: str):
@@ -56,6 +67,34 @@ def cmd_detect(args) -> int:
     return 0
 
 
+def cmd_scan(args) -> int:
+    """Scan a source tree: extract OpenMP kernels, run the cached
+    detector ensemble, and emit JSON/SARIF reports."""
+    from repro.scan import ScanConfig, ScanPipeline
+    from repro.scan.sarif import write_sarif
+
+    config = ScanConfig(
+        languages=tuple(args.language) if args.language else None,
+        tools_only=args.tools_only,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+    )
+    system = None if args.tools_only else _make_system(args.preset)
+    pipeline = ScanPipeline(system=system, config=config)
+    report = pipeline.scan(args.path)
+    print(report.summary())
+    if args.json_out:
+        report.write_json(args.json_out)
+        print(f"wrote JSON report to {args.json_out}")
+    if args.sarif:
+        write_sarif(report, args.sarif)
+        print(f"wrote SARIF report to {args.sarif}")
+    if args.fail_on_race and report.racy():
+        return 1
+    return 0
+
+
 def cmd_eval(args) -> int:
     """Run the Table-5 evaluation and print both language blocks."""
     from repro.drb import DRBSuite
@@ -89,29 +128,14 @@ def cmd_export(args) -> int:
 
     suite = DRBSuite.evaluation(seed=args.seed)
     out_dir = Path(args.out)
-    n = suite_write_sources(suite, out_dir)
+    n = suite.write_tree(out_dir)
     print(f"wrote {n} kernels under {out_dir}")
     return 0
 
 
 def suite_write_sources(suite, out_dir: Path) -> int:
-    """Write each kernel to ``<out>/<language>/<id>.{c,f90}`` with a
-    ground-truth manifest, mirroring the real DataRaceBench layout."""
-    import json
-
-    manifest = []
-    for spec in suite.specs:
-        lang_dir = out_dir / ("c" if spec.language == "C/C++" else "fortran")
-        lang_dir.mkdir(parents=True, exist_ok=True)
-        ext = "c" if spec.language == "C/C++" else "f90"
-        path = lang_dir / f"{spec.id}.{ext}"
-        path.write_text(spec.source)
-        manifest.append({
-            "id": spec.id, "language": spec.language, "category": spec.category,
-            "label": spec.label, "file": str(path.relative_to(out_dir)),
-        })
-    (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=1))
-    return len(manifest)
+    """Back-compat alias for :meth:`repro.drb.DRBSuite.write_tree`."""
+    return suite.write_tree(out_dir)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,9 +158,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("detect", help="data-race detection on a kernel file")
     _add_preset_arg(p)
     p.add_argument("file", help="kernel source path, or '-' for stdin")
-    p.add_argument("--language", choices=["C/C++", "Fortran"], default="C/C++")
+    p.add_argument("--language", type=_language_arg, default="C/C++",
+                   help="kernel language (aliases like c, cpp, f90 accepted)")
     p.add_argument("--version", choices=["l1", "l2"], default="l2")
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("scan", help="scan a source tree for data races")
+    _add_preset_arg(p)
+    p.add_argument("path", help="directory (or single file) to scan")
+    p.add_argument("--json", dest="json_out", metavar="PATH",
+                   help="write the full ScanReport JSON here")
+    p.add_argument("--sarif", metavar="PATH",
+                   help="write a SARIF 2.1.0 report here")
+    p.add_argument("--language", action="append", type=_language_arg,
+                   help="restrict to a language (repeatable; aliases accepted)")
+    p.add_argument("--tools-only", action="store_true",
+                   help="skip the LLM rows (no model build needed)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't update the verdict cache")
+    p.add_argument("--cache-dir", help="verdict cache location "
+                   "(default: $REPRO_CACHE/scan or .repro_cache/scan)")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="tool-ensemble worker threads (default 4)")
+    p.add_argument("--fail-on-race", action="store_true",
+                   help="exit 1 when the ensemble flags any race (CI mode)")
+    p.set_defaults(func=cmd_scan)
 
     p = sub.add_parser("eval", help="run the Table-5 evaluation")
     _add_preset_arg(p)

@@ -43,6 +43,9 @@ class Detector:
 
     name: str = "detector"
     kind: str = "static"  # static | dynamic | llm
+    #: Languages the tool can ingest at all (per-program support is the
+    #: finer-grained :meth:`supports`); the registry filters on this.
+    languages: tuple[str, ...] = ("C/C++", "Fortran")
 
     def supports(self, spec: KernelSpec) -> bool:  # pragma: no cover - default
         return True

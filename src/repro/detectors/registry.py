@@ -7,6 +7,7 @@ from repro.detectors.inspector import IntelInspectorDetector
 from repro.detectors.llov import LLOVDetector
 from repro.detectors.romp import ROMPDetector
 from repro.detectors.tsan import ThreadSanitizerDetector
+from repro.utils.languages import LANGUAGES, normalize_language
 
 #: Table 4: Data Race Detection Tool and Compiler Version.
 TOOL_VERSIONS: tuple[dict, ...] = (
@@ -17,11 +18,21 @@ TOOL_VERSIONS: tuple[dict, ...] = (
 )
 
 
-def build_tool_detectors() -> list[Detector]:
-    """The four non-LLM tools, in the paper's Table-5 row order."""
-    return [
+def build_tool_detectors(language: str | None = None) -> list[Detector]:
+    """The four non-LLM tools, in the paper's Table-5 row order.
+
+    ``language`` (any accepted alias — the shared normaliser validates
+    it) keeps only tools whose :attr:`Detector.languages` includes that
+    language.  Single-language scans pass it; today all four tools
+    handle both languages, so the filter exists for alias validation
+    and future language-specific tools."""
+    detectors: list[Detector] = [
         LLOVDetector(),
         IntelInspectorDetector(),
         ROMPDetector(),
         ThreadSanitizerDetector(),
     ]
+    if language is None:
+        return detectors
+    canonical = normalize_language(language)
+    return [d for d in detectors if canonical in getattr(d, "languages", LANGUAGES)]

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.drb.generator import KernelSpec, generate_eval_suite, generate_training_pool
 from repro.knowledge.corpus import KnowledgeChunk
@@ -63,3 +65,23 @@ class DRBSuite:
 
     def chunks(self) -> list[KnowledgeChunk]:
         return [spec_to_chunk(s) for s in self.specs]
+
+    def write_tree(self, out_dir: str | Path) -> int:
+        """Write the suite as a scannable source tree — each kernel at
+        ``<out>/<language>/<id>.{c,f90}`` plus a ground-truth
+        ``manifest.json`` — mirroring the real DataRaceBench layout.
+        ``repro scan`` over the result is the suite-level self-test."""
+        out_dir = Path(out_dir)
+        manifest = []
+        for spec in self.specs:
+            lang_dir = out_dir / ("c" if spec.language == "C/C++" else "fortran")
+            lang_dir.mkdir(parents=True, exist_ok=True)
+            ext = "c" if spec.language == "C/C++" else "f90"
+            path = lang_dir / f"{spec.id}.{ext}"
+            path.write_text(spec.source)
+            manifest.append({
+                "id": spec.id, "language": spec.language, "category": spec.category,
+                "label": spec.label, "file": str(path.relative_to(out_dir)),
+            })
+        (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=1))
+        return len(manifest)

@@ -257,8 +257,11 @@ class MicroBatcher:
     Callers block in :meth:`submit`; a worker thread takes the first
     pending item, waits up to ``window_ms`` for companions (capped at
     ``max_batch``), runs ``run_batch`` once over the gathered items, and
-    wakes every caller with its own result.  Exceptions from the batch
-    runner propagate to every caller of that batch.
+    wakes every caller with its own result.  An exception *raised* by
+    the batch runner propagates to every caller of that batch; a runner
+    that can isolate failures instead returns an ``Exception`` instance
+    in that item's slot, and only that caller sees it raised — one bad
+    request never poisons its batchmates.
     """
 
     def __init__(
@@ -342,7 +345,10 @@ class MicroBatcher:
                         f"batch runner returned {len(results)} results for {len(batch)} items"
                     )
                 for box, result in zip(batch, results):
-                    box["result"] = result
+                    if isinstance(result, Exception):
+                        box["error"] = result
+                    else:
+                        box["result"] = result
             except Exception as exc:  # noqa: BLE001 - propagate to callers
                 for box in batch:
                     box["error"] = exc

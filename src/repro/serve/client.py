@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 import urllib.request
 
 
@@ -31,3 +32,27 @@ class HPCGPTClient:
 
     def detect(self, code: str, language: str = "C/C++") -> str:
         return self._post("/api/detect", {"code": code, "language": language})["data_race"]
+
+    # -- repository scans (async job queue) --------------------------------
+
+    def scan_start(self, path: str, **options) -> str:
+        """Queue a repository scan; returns the job id."""
+        return self._post("/api/scan", {"path": path, **options})["id"]
+
+    def scan_status(self, job_id: str) -> dict:
+        """Current job state (includes the report once ``done``)."""
+        with urllib.request.urlopen(
+            f"{self.base_url}/api/scan/{job_id}", timeout=30
+        ) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def scan_wait(self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2) -> dict:
+        """Poll until the job finishes (or ``timeout`` elapses)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.scan_status(job_id)
+            if status["status"] in ("done", "error"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"scan job {job_id} still {status['status']!r}")
+            time.sleep(poll_s)

@@ -2,10 +2,14 @@
 
 Endpoints (JSON over HTTP, stdlib ``http.server`` — no dependencies):
 
-* ``GET  /``            — a minimal HTML GUI for HPC scientists;
-* ``GET  /health``      — liveness + model metadata;
-* ``POST /api/answer``  — ``{"question": ...}`` -> Task-1 answer;
-* ``POST /api/detect``  — ``{"code": ..., "language": ...}`` -> yes/no.
+* ``GET  /``              — a minimal HTML GUI for HPC scientists;
+* ``GET  /health``        — liveness + model metadata;
+* ``POST /api/answer``    — ``{"question": ...}`` -> Task-1 answer;
+* ``POST /api/detect``    — ``{"code": ..., "language": ...}`` -> yes/no;
+* ``POST /api/scan``      — ``{"path": ...}`` -> queued scan job id
+  (long repository scans run on an async job queue, so they never
+  block the micro-batcher serving answer/detect traffic);
+* ``GET  /api/scan/<id>`` — job status, and the full report when done.
 
 ``ThreadingHTTPServer`` handles each request on its own thread, so
 requests are funnelled through a :class:`ServingFrontend`: first-touch
@@ -22,6 +26,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.llm.engine import MicroBatcher
+from repro.utils.languages import UnknownLanguageError, normalize_language
 
 _GUI_HTML = """<!doctype html>
 <html><head><title>HPC-GPT</title></head>
@@ -66,25 +71,41 @@ class ServingFrontend:
         self._system_lock = threading.Lock()
         self._answer_queue = MicroBatcher(self._answer_many, window_ms, max_batch)
         self._detect_queue = MicroBatcher(self._detect_many, window_ms, max_batch)
+        self._scan_queue = None  # lazily built on first /api/scan
+        self._scan_queue_lock = threading.Lock()
 
     # -- batch runners (worker threads) --------------------------------------
 
     def _run_grouped(self, items, batched, single, kwarg: str) -> list:
         """Dispatch ``(payload, key)`` items: group by key and run one
-        batched call per group, or fall back to per-item calls."""
+        batched call per group, or fall back to per-item calls.
+
+        Failures are isolated per group (and per item on the fallback
+        path): a slot holding an ``Exception`` is raised only for its
+        own caller by :class:`MicroBatcher`, so one bad request cannot
+        poison the rest of its micro-batch."""
         with self._system_lock:
             if batched is None:
-                return [single(payload, **{kwarg: key}) for payload, key in items]
-            results: list = [None] * len(items)
+                results: list = []
+                for payload, key in items:
+                    try:
+                        results.append(single(payload, **{kwarg: key}))
+                    except Exception as exc:  # noqa: BLE001 - isolate per item
+                        results.append(exc)
+                return results
+            results = [None] * len(items)
             groups: dict[str, list[int]] = {}
             for idx, (_, key) in enumerate(items):
                 groups.setdefault(key, []).append(idx)
             for key, idxs in groups.items():
-                outs = batched([items[i][0] for i in idxs], **{kwarg: key})
-                if len(outs) != len(idxs):
-                    raise RuntimeError(
-                        f"batched call returned {len(outs)} results for {len(idxs)} items"
-                    )
+                try:
+                    outs = batched([items[i][0] for i in idxs], **{kwarg: key})
+                    if len(outs) != len(idxs):
+                        raise RuntimeError(
+                            f"batched call returned {len(outs)} results for {len(idxs)} items"
+                        )
+                except Exception as exc:  # noqa: BLE001 - isolate per group
+                    outs = [exc] * len(idxs)
                 for i, out in zip(idxs, outs):
                     results[i] = out
             return results
@@ -117,9 +138,48 @@ class ServingFrontend:
         with self._system_lock:
             return self.system.finetuned(version)
 
+    # -- repository scans (async job queue) ----------------------------------
+
+    def _scan_runner(self, path: str, options: dict) -> dict:
+        """One scan job: build a pipeline from the request options and
+        run it.  Only the engine phase takes the system lock (via
+        ``llm_lock``), so answer/detect traffic keeps flowing while the
+        walker, extractor, and tool ensemble work."""
+        from repro.scan import ScanConfig, ScanPipeline
+
+        config = ScanConfig(
+            languages=tuple(options["languages"]) if options.get("languages") else None,
+            tools_only=bool(options.get("tools_only", False)),
+            use_cache=not options.get("no_cache", False),
+            jobs=int(options.get("jobs", 4)),
+        )
+        pipeline = ScanPipeline(
+            system=None if config.tools_only else self.system,
+            config=config,
+            llm_lock=self._system_lock,
+        )
+        return pipeline.scan(path).to_dict()
+
+    def scan_submit(self, path: str, options: dict):
+        from repro.scan import ScanJobQueue
+
+        with self._scan_queue_lock:
+            if self._scan_queue is None:
+                self._scan_queue = ScanJobQueue(self._scan_runner)
+            return self._scan_queue.submit(path, options)
+
+    def scan_job(self, job_id: str):
+        with self._scan_queue_lock:
+            if self._scan_queue is None:
+                return None
+        return self._scan_queue.get(job_id)
+
     def close(self) -> None:
         self._answer_queue.close()
         self._detect_queue.close()
+        with self._scan_queue_lock:
+            if self._scan_queue is not None:
+                self._scan_queue.close()
 
 
 class HPCGPTRequestHandler(BaseHTTPRequestHandler):
@@ -155,6 +215,13 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         if self.path == "/":
             self._send(200, _GUI_HTML, content_type="text/html")
+        elif self.path.startswith("/api/scan/"):
+            job_id = self.path[len("/api/scan/"):]
+            job = self.frontend.scan_job(job_id)
+            if job is None:
+                self._send(404, {"error": f"unknown scan job {job_id!r}"})
+            else:
+                self._send(200, job.to_dict())
         elif self.path == "/health":
             model = self.frontend.finetuned("l2")
             self._send(
@@ -188,11 +255,43 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
             if not code.strip():
                 self._send(400, {"error": "missing 'code'"})
                 return
-            language = payload.get("language", "C/C++")
+            try:
+                language = normalize_language(payload.get("language", "C/C++"))
+            except UnknownLanguageError as exc:
+                self._send(400, {"error": str(exc)})
+                return
             verdict = self.frontend.detect(code, language=language)
             self._send(200, {"language": language, "data_race": verdict})
+        elif self.path == "/api/scan":
+            self._post_scan(payload)
         else:
             self._send(404, {"error": f"unknown path {self.path}"})
+
+    def _post_scan(self, payload: dict) -> None:
+        from pathlib import Path
+
+        path = str(payload.get("path", "")).strip()
+        if not path:
+            self._send(400, {"error": "missing 'path'"})
+            return
+        if not Path(path).exists():
+            self._send(400, {"error": f"scan path {path!r} does not exist"})
+            return
+        options = {
+            k: payload[k]
+            for k in ("languages", "tools_only", "no_cache", "jobs")
+            if k in payload
+        }
+        try:
+            if options.get("languages"):
+                options["languages"] = [
+                    normalize_language(l) for l in options["languages"]
+                ]
+        except UnknownLanguageError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        job = self.frontend.scan_submit(path, options)
+        self._send(202, {"id": job.id, "status": job.status, "path": job.path})
 
 
 def make_server(

@@ -5,6 +5,12 @@ Every stochastic component in the reproduction draws randomness through
 reproducible across runs and machines.
 """
 
+from repro.utils.languages import (
+    LANGUAGES,
+    UnknownLanguageError,
+    language_for_path,
+    normalize_language,
+)
 from repro.utils.rng import RngHub, derive_rng, new_rng
 from repro.utils.text import (
     normalize_ws,
@@ -15,6 +21,10 @@ from repro.utils.text import (
 )
 
 __all__ = [
+    "LANGUAGES",
+    "UnknownLanguageError",
+    "language_for_path",
+    "normalize_language",
     "RngHub",
     "derive_rng",
     "new_rng",

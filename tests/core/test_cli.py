@@ -12,7 +12,9 @@ class TestParser:
     def test_all_commands_present(self):
         parser = build_parser()
         sub = next(a for a in parser._actions if a.dest == "command")
-        assert set(sub.choices) == {"build", "ask", "detect", "eval", "serve", "export"}
+        assert set(sub.choices) == {
+            "build", "ask", "detect", "scan", "eval", "serve", "export",
+        }
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -24,6 +26,26 @@ class TestParser:
         )
         assert args.file == "kernel.c" and args.language == "Fortran"
         assert args.preset == "paper"
+
+    def test_detect_language_aliases(self):
+        for alias, canonical in (("cpp", "C/C++"), ("f90", "Fortran"), ("C", "C/C++")):
+            args = build_parser().parse_args(["detect", "k.c", "--language", alias])
+            assert args.language == canonical
+
+    def test_detect_unknown_language_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "k.c", "--language", "rust"])
+        assert "unknown language" in capsys.readouterr().err
+
+    def test_scan_args(self):
+        args = build_parser().parse_args(
+            ["scan", "src/", "--tools-only", "--language", "c",
+             "--language", "fortran", "--sarif", "out.sarif", "--jobs", "2"]
+        )
+        assert args.path == "src/"
+        assert args.tools_only and args.jobs == 2
+        assert args.language == ["C/C++", "Fortran"]
+        assert args.sarif == "out.sarif"
 
 
 class TestExport:

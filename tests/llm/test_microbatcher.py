@@ -1,0 +1,156 @@
+"""Edge-case tests for the MicroBatcher serving queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.llm.engine import MicroBatcher
+
+
+def collect(batches):
+    """A runner that records batch compositions and echoes items."""
+
+    def run(items):
+        batches.append(list(items))
+        return [f"out:{i}" for i in items]
+
+    return run
+
+
+class TestBatchOfOne:
+    def test_single_item_roundtrip(self):
+        batches = []
+        mb = MicroBatcher(collect(batches), window_ms=1.0)
+        try:
+            assert mb.submit("a") == "out:a"
+            assert batches == [["a"]]
+        finally:
+            mb.close()
+
+    def test_max_batch_one_never_groups(self):
+        batches = []
+        mb = MicroBatcher(collect(batches), window_ms=50.0, max_batch=1)
+        try:
+            results = {}
+            threads = [
+                threading.Thread(target=lambda i=i: results.update({i: mb.submit(i)}))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            assert results == {i: f"out:{i}" for i in range(4)}
+            assert all(len(b) == 1 for b in batches)
+        finally:
+            mb.close()
+
+
+class TestFlushOnTimeout:
+    def test_lone_item_flushes_at_window_not_max_batch(self):
+        """A single request must not wait for max_batch companions."""
+        mb = MicroBatcher(lambda items: list(items), window_ms=20.0, max_batch=64)
+        try:
+            t0 = time.monotonic()
+            assert mb.submit("x") == "x"
+            elapsed = time.monotonic() - t0
+            assert elapsed < 5.0  # flushed by the window, not by batch fill
+        finally:
+            mb.close()
+
+
+class TestShutdown:
+    def test_submit_after_close_raises(self):
+        mb = MicroBatcher(lambda items: list(items), window_ms=1.0)
+        mb.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            mb.submit("late")
+
+    def test_concurrent_submitters_after_shutdown_all_fail_cleanly(self):
+        mb = MicroBatcher(lambda items: list(items), window_ms=1.0)
+        mb.close()
+        errors = []
+        gate = threading.Barrier(6, timeout=5.0)
+
+        def late(i):
+            gate.wait()
+            try:
+                mb.submit(i)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=late, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert len(errors) == 6  # nobody hangs, everybody gets the error
+
+    def test_close_idempotent(self):
+        mb = MicroBatcher(lambda items: list(items))
+        mb.close()
+        mb.close()
+
+
+class TestErrorIsolation:
+    def test_per_slot_exception_only_fails_its_caller(self):
+        """A runner returning an Exception in one slot fails only that
+        caller; batchmates still get their results."""
+
+        def run(items):
+            return [
+                ValueError(f"bad:{i}") if i == "poison" else f"ok:{i}"
+                for i in items
+            ]
+
+        mb = MicroBatcher(run, window_ms=50.0, max_batch=8)
+        try:
+            results, errors = {}, {}
+            gate = threading.Barrier(4, timeout=5.0)
+
+            def submit(i):
+                gate.wait()
+                try:
+                    results[i] = mb.submit(i)
+                except ValueError as exc:
+                    errors[i] = str(exc)
+
+            items = ["a", "poison", "b", "c"]
+            threads = [threading.Thread(target=submit, args=(i,)) for i in items]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            assert errors == {"poison": "bad:poison"}
+            assert results == {"a": "ok:a", "b": "ok:b", "c": "ok:c"}
+        finally:
+            mb.close()
+
+    def test_raised_exception_fails_the_whole_batch(self):
+        def run(items):
+            raise RuntimeError("runner died")
+
+        mb = MicroBatcher(run, window_ms=1.0)
+        try:
+            with pytest.raises(RuntimeError, match="runner died"):
+                mb.submit("x")
+        finally:
+            mb.close()
+
+    def test_next_batch_unaffected_by_previous_failure(self):
+        calls = {"n": 0}
+
+        def run(items):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first batch dies")
+            return [f"ok:{i}" for i in items]
+
+        mb = MicroBatcher(run, window_ms=1.0)
+        try:
+            with pytest.raises(RuntimeError):
+                mb.submit("a")
+            assert mb.submit("b") == "ok:b"
+        finally:
+            mb.close()

@@ -1,0 +1,67 @@
+"""Tests for the content-addressed verdict cache."""
+
+import json
+import threading
+
+from repro.scan.cache import VerdictCache, kernel_key, pipeline_fingerprint
+
+
+class TestKeys:
+    def test_key_depends_on_every_input(self):
+        base = kernel_key("src", "C/C++", "fp")
+        assert kernel_key("src2", "C/C++", "fp") != base
+        assert kernel_key("src", "Fortran", "fp") != base
+        assert kernel_key("src", "C/C++", "fp2") != base
+        assert kernel_key("src", "C/C++", "fp") == base
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = pipeline_fingerprint({"detectors": ["x"], "model": "m"})
+        b = pipeline_fingerprint({"model": "m", "detectors": ["x"]})
+        assert a == b  # key order does not matter
+        assert pipeline_fingerprint({"detectors": ["y"], "model": "m"}) != a
+
+
+class TestStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = VerdictCache(tmp_path / "scan")
+        key = kernel_key("code", "C/C++", "fp")
+        assert cache.get(key) is None
+        cache.put(key, {"verdicts": {"LLOV": "yes"}})
+        assert cache.get(key) == {"verdicts": {"LLOV": "yes"}}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = kernel_key("k", "C/C++", "fp")
+        cache.put(key, {})
+        assert (tmp_path / key[:2] / f"{key}.json").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = kernel_key("k", "C/C++", "fp")
+        cache.put(key, {"a": 1})
+        (tmp_path / key[:2] / f"{key}.json").write_text("{truncated")
+        assert cache.get(key) is None
+
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = kernel_key("k", "C/C++", "fp")
+        payloads = [{"n": i, "blob": "x" * 2000} for i in range(8)]
+
+        def write(p):
+            for _ in range(20):
+                cache.put(key, p)
+
+        threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = cache.get(key)
+        assert final in payloads  # some complete payload, never a torn one
+        # And the entry on disk is valid JSON.
+        path = tmp_path / key[:2] / f"{key}.json"
+        json.loads(path.read_text())

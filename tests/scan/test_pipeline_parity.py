@@ -1,0 +1,94 @@
+"""Acceptance test: scanning the exported DRB tree reproduces the
+single-kernel ``detect_race`` verdicts exactly, and a re-scan of the
+unchanged tree is served entirely from the verdict cache.
+
+Uses a sampled sub-suite (both languages, oversize included) so the
+module builds one small-preset system and scores a few dozen kernels.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import HPCGPTSystem, SMALL_PRESET
+from repro.drb import DRBSuite
+from repro.scan import ScanConfig, ScanPipeline
+
+
+@pytest.fixture(scope="module")
+def system():
+    return HPCGPTSystem(dataclasses.replace(SMALL_PRESET, use_cache=False))
+
+
+@pytest.fixture(scope="module")
+def sub_suite():
+    full = DRBSuite.evaluation(seed=0)
+    rng = np.random.default_rng(7)
+
+    def sample(pool, n):
+        idx = rng.permutation(len(pool))[:n]
+        return [pool[i] for i in idx]
+
+    c_pool = full.by_language("C/C++")
+    specs = sample([s for s in c_pool if "oversize" not in s.features], 10)
+    specs += [next(s for s in c_pool if "oversize" in s.features)]
+    specs += sample(full.by_language("Fortran"), 8)
+    return DRBSuite(specs)
+
+
+@pytest.fixture(scope="module")
+def exported(sub_suite, tmp_path_factory):
+    out = tmp_path_factory.mktemp("drb-tree")
+    n = sub_suite.write_tree(out)
+    assert n == len(sub_suite.specs)
+    return out
+
+
+class TestScanParity:
+    @pytest.fixture(scope="class")
+    def scans(self, system, exported, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("verdicts")
+        config = ScanConfig(cache_dir=cache_dir)
+        first = ScanPipeline(system=system, config=config).scan(exported)
+        second = ScanPipeline(system=system, config=config).scan(exported)
+        return first, second
+
+    def test_every_kernel_scanned_as_whole_file(self, scans, sub_suite):
+        first, _ = scans
+        assert first.totals["kernels"] == len(sub_suite.specs)
+        assert all(k.parse_ok for k in first.kernels)
+
+    def test_llm_verdicts_match_detect_race(self, scans, system, sub_suite, exported):
+        """The parity criterion: per kernel, scan == detect_race."""
+        first, _ = scans
+        manifest = {e["file"]: e for e in
+                    json.loads((exported / "manifest.json").read_text())}
+        specs = {s.id: s for s in sub_suite.specs}
+        assert len(first.kernels) == len(manifest)
+        for kernel in first.kernels:
+            entry = manifest[kernel.file]
+            spec = specs[entry["id"]]
+            expected = system.detect_race(spec.source, language=spec.language)
+            assert kernel.llm_verdict == expected, (
+                f"{kernel.file}: scan says {kernel.llm_verdict!r}, "
+                f"detect_race says {expected!r}"
+            )
+
+    def test_second_scan_fully_cached_and_identical(self, scans):
+        first, second = scans
+        assert second.totals["cache_hits"] == second.totals["kernels"]
+        assert all(k.cached for k in second.kernels)
+        strip = lambda k: k.to_dict() | {"cached": None}  # noqa: E731
+        assert [strip(k) for k in second.kernels] == [strip(k) for k in first.kernels]
+
+    def test_cached_scan_skips_detection_work(self, scans):
+        """The warm scan's detect phase collapses to cache reads."""
+        first, second = scans
+        assert second.timing["detect_s"] < first.timing["detect_s"]
+
+    def test_llm_detector_listed(self, scans):
+        first, _ = scans
+        assert "HPC-GPT (L2)" in first.detectors
+        assert all(k.llm_margin is not None for k in first.kernels)

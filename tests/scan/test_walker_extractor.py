@@ -1,0 +1,197 @@
+"""Tests for the tree walker and the kernel extractor."""
+
+import pytest
+
+from repro.scan.extractor import directive_lines, extract_kernels
+from repro.scan.walker import SourceFile, walk_tree
+
+RACY_C = (
+    "int i;\n"
+    "double y[32], x[32];\n"
+    "#pragma omp parallel for\n"
+    "for (i = 1; i < 32; i++) { y[i] = y[i-1] + x[i]; }\n"
+)
+
+REAL_WORLD_C = """\
+#include <stdio.h>
+#include <omp.h>
+
+static void saxpy(int n, float a, float *x, float *y) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) y[i] = a * x[i] + y[i];
+}
+
+void serial_helper(int n) {
+  printf("%d\\n", n);
+}
+
+double dot(int n, double *x, double *y) {
+  double s = 0.0;
+  #pragma omp parallel for reduction(+:s)
+  for (int i = 0; i < n; i++) s += x[i] * y[i];
+  return s;
+}
+"""
+
+F_MODULE = """\
+subroutine update(a, n)
+  integer :: n, i
+  real :: a(n)
+  !$omp parallel do ordered
+  do i = 1, n
+    a(i) = a(i) + 1.0
+  end do
+end subroutine update
+
+subroutine untouched(n)
+  integer :: n
+end subroutine untouched
+"""
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "racy.c").write_text(RACY_C)
+    (tmp_path / "src" / "real.c").write_text(REAL_WORLD_C)
+    (tmp_path / "mod.f90").write_text(F_MODULE)
+    (tmp_path / "README.md").write_text("# not source\n")
+    (tmp_path / "build").mkdir()
+    (tmp_path / "build" / "gen.c").write_text(RACY_C)
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "x.c").write_text(RACY_C)
+    return tmp_path
+
+
+class TestWalker:
+    def test_walk_filters_and_sorts(self, tree):
+        files, stats = walk_tree(tree)
+        assert [f.relpath for f in files] == ["mod.f90", "src/racy.c", "src/real.c"]
+        assert stats.files_taken == 3
+
+    def test_language_restriction_accepts_aliases(self, tree):
+        files, _ = walk_tree(tree, languages=("f90",))
+        assert [f.relpath for f in files] == ["mod.f90"]
+        assert files[0].language == "Fortran"
+
+    def test_single_file_root(self, tree):
+        files, _ = walk_tree(tree / "src" / "racy.c")
+        assert len(files) == 1 and files[0].relpath == "racy.c"
+
+    def test_missing_root_raises(self, tree):
+        with pytest.raises(FileNotFoundError):
+            walk_tree(tree / "nope")
+
+    def test_size_cap(self, tree):
+        files, stats = walk_tree(tree, max_bytes=10)
+        assert not files
+        assert stats.skipped_size == 3
+
+
+class TestExtractor:
+    def test_whole_file_kernel_when_parseable(self):
+        sf = SourceFile(path=None, relpath="k.c", language="C/C++", text=RACY_C)
+        kernels = extract_kernels(sf)
+        assert len(kernels) == 1
+        k = kernels[0]
+        assert k.parse_ok and k.source == RACY_C
+        assert (k.start_line, k.end_line) == (1, 4)
+
+    def test_no_directives_no_kernels(self):
+        sf = SourceFile(path=None, relpath="s.c", language="C/C++",
+                        text="int main(void) { return 0; }\n")
+        assert extract_kernels(sf) == []
+
+    def test_serial_microkernel_still_scanned(self):
+        # DRB "Single thread execution" programs carry no directive but
+        # are part of the suite; whole-file-parseable serial code counts.
+        text = "int i;\ndouble z[64];\nfor (i = 3; i < 64; i++) {\n  z[i] = z[i-3] + 1;\n}\n"
+        sf = SourceFile(path=None, relpath="ste.c", language="C/C++", text=text)
+        (k,) = extract_kernels(sf)
+        assert k.parse_ok and k.features == frozenset()
+
+    def test_declaration_only_file_skipped(self):
+        sf = SourceFile(path=None, relpath="decls.h", language="C/C++",
+                        text="int n;\ndouble buf[16];\n")
+        assert extract_kernels(sf) == []
+
+    def test_function_context_extraction(self):
+        sf = SourceFile(path=None, relpath="real.c", language="C/C++",
+                        text=REAL_WORLD_C)
+        kernels = extract_kernels(sf)
+        assert len(kernels) == 2  # saxpy and dot; serial_helper has no omp
+        saxpy, dot = kernels
+        assert "static void saxpy" in saxpy.source
+        assert "#pragma omp parallel for" in saxpy.source
+        assert "serial_helper" not in saxpy.source
+        assert "double dot" in dot.source and "reduction(+:s)" in dot.source
+        assert not saxpy.parse_ok  # function syntax is outside the front end
+
+    def test_fortran_unit_extraction_and_features(self):
+        sf = SourceFile(path=None, relpath="mod.f90", language="Fortran",
+                        text=F_MODULE)
+        kernels = extract_kernels(sf)
+        assert len(kernels) == 1
+        k = kernels[0]
+        assert k.source.startswith("subroutine update")
+        assert "untouched" not in k.source
+        assert "ordered" in k.features
+
+    def test_target_feature_lifted(self):
+        text = ("int i;\ndouble s;\ndouble z[64];\n"
+                "#pragma omp target teams distribute parallel for map(tofrom: s)\n"
+                "for (i = 0; i < 64; i++) {\n  s += z[i];\n}\n")
+        sf = SourceFile(path=None, relpath="t.c", language="C/C++", text=text)
+        (k,) = extract_kernels(sf)
+        assert "target" in k.features
+
+    def test_braces_in_string_literals_ignored(self):
+        text = (
+            '#include <stdio.h>\n'
+            'void log_open(void) {\n'
+            '  printf("{\\n");\n'
+            '}\n'
+            '\n'
+            'void work(double *y) {\n'
+            '  #pragma omp parallel for\n'
+            '  for (int i = 1; i < 8; i++) y[i] = y[i-1];\n'
+            '}\n'
+        )
+        sf = SourceFile(path=None, relpath="s.c", language="C/C++", text=text)
+        (k,) = extract_kernels(sf)
+        assert k.source.startswith("void work")
+        assert "log_open" not in k.source
+        assert (k.start_line, k.end_line) == (6, 9)
+
+    def test_fortran_end_function_closes_unit(self):
+        text = (
+            "function f(n) result(r)\n"
+            "  integer :: n, r\n"
+            "  r = n\n"
+            "end function f\n"
+            "\n"
+            "subroutine g(a, n)\n"
+            "  integer :: n, i\n"
+            "  real :: a(n)\n"
+            "  !$omp parallel do\n"
+            "  do i = 1, n\n"
+            "    a(i) = a(i) + 1.0\n"
+            "  end do\n"
+            "end subroutine g\n"
+        )
+        sf = SourceFile(path=None, relpath="m.f90", language="Fortran", text=text)
+        (k,) = extract_kernels(sf)
+        assert k.source.startswith("subroutine g")
+        assert "function f" not in k.source
+        assert (k.start_line, k.end_line) == (6, 13)
+
+    def test_directive_lines(self):
+        assert directive_lines(RACY_C, "C/C++") == [(3, "parallel for")]
+        assert directive_lines(F_MODULE, "Fortran")[0][0] == 4
+
+    def test_kernel_spec_bridge(self):
+        sf = SourceFile(path=None, relpath="k.c", language="C/C++", text=RACY_C)
+        (k,) = extract_kernels(sf)
+        spec = k.to_spec()
+        assert spec.id == "k.c:1" and spec.language == "C/C++"
+        assert spec.parse().body is not None

@@ -161,3 +161,40 @@ class TestServingFrontendFallback:
             assert frontend.detect("#pragma omp parallel for x") == "yes"
         finally:
             frontend.close()
+
+
+class TestGroupErrorIsolation:
+    """A failing language group must not poison batchmates in other
+    groups of the same micro-batch."""
+
+    class ExplodingSystem(StubSystem):
+        def detect_race_batch(self, codes, language="C/C++", version="l2"):
+            if language == "Fortran":
+                raise RuntimeError("fortran backend down")
+            return ["no" for _ in codes]
+
+    def test_one_groups_failure_spares_the_other(self):
+        frontend = ServingFrontend(self.ExplodingSystem(), window_ms=30.0, max_batch=8)
+        try:
+            results, errors = {}, {}
+            gate = threading.Barrier(2, timeout=5.0)
+
+            def call(code, language):
+                gate.wait()
+                try:
+                    results[language] = frontend.detect(code, language=language)
+                except RuntimeError as exc:
+                    errors[language] = str(exc)
+
+            threads = [
+                threading.Thread(target=call, args=("x = 1;", "C/C++")),
+                threading.Thread(target=call, args=("x = 1", "Fortran")),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            assert results == {"C/C++": "no"}
+            assert errors == {"Fortran": "fortran backend down"}
+        finally:
+            frontend.close()
