@@ -1,0 +1,206 @@
+"""Training throughput: the unified-trainer levers, measured.
+
+Times the two training workloads everything builds on:
+
+* **pretrain** (packed-stream next-token training): tokens/sec through
+  the :class:`repro.train.Trainer`, cold vs resumed — a run restarted
+  from a mid-run :mod:`repro.train.checkpoint` file must pay only the
+  checkpoint load, not a restart from step 0;
+* **SFT** (instruction fine-tuning): tokens/sec for the *seed loop*
+  (the pre-PR ``SFTTrainer.train`` body, replicated verbatim below:
+  shuffle-then-pad batching + reference cross-entropy over every
+  position) vs the unified trainer unbucketed (fused CE + supervised
+  -only head) vs bucketed (plus length-bucketed batching).
+
+The two SFT levers compound: the fused objective projects only the
+supervised answer span through the LM head (~18% of positions on the
+small preset), and bucketing stops a shuffled batch from padding short
+QA rows out to the longest code row it happened to contain.
+
+Writes ``benchmarks/out/BENCH_train.json``.  Defaults to the small
+preset; set ``REPRO_BENCH_PRESET=paper`` for the full configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from _shared import OUT_DIR, write_out
+from repro.core import HPCGPTSystem, PAPER_PRESET, SMALL_PRESET
+from repro.finetune import SFTTrainer
+from repro.finetune.dataset import SFTDataset
+from repro.llm.pretrain import pretrain_trainer
+from repro.llm.registry import BASE_RECIPES
+from repro.nn import AdamW, GradClipper, apply_lora
+from repro.tensor import cross_entropy_logits
+from repro.train.fp16 import LossScaler, round_to_fp16
+from repro.utils.rng import derive_rng
+
+SFT_EPOCHS = 2
+
+
+def bench_pretrain(cfg) -> dict:
+    """Cold run vs checkpoint+resume of the same pretraining recipe."""
+    recipe = BASE_RECIPES["llama2-13b-sim"]
+    pre = dataclasses.replace(
+        cfg.pretrain, corpus_scale=recipe["corpus_scale"], seed=recipe["seed"]
+    )
+    model_cfg = dataclasses.replace(cfg.model, name="bench-train")
+
+    trainer, tok = pretrain_trainer(model_cfg, pre)
+    t0 = time.perf_counter()
+    cold = trainer.train()
+    cold_sec = time.perf_counter() - t0
+
+    half = pre.steps // 2
+    with tempfile.TemporaryDirectory() as tmp:
+        ck = os.path.join(tmp, "pretrain.npz")
+        # A full run that snapshots at the halfway point; the resumed
+        # run then replays only the second half from that file.
+        first, _ = pretrain_trainer(
+            model_cfg, pre, tokenizer=tok, checkpoint_every=half, checkpoint_path=ck
+        )
+        first.train()
+        resumed_trainer, _ = pretrain_trainer(model_cfg, pre, tokenizer=tok)
+        t0 = time.perf_counter()
+        resumed = resumed_trainer.train(resume_from=ck)
+        resumed_sec = time.perf_counter() - t0
+    return {
+        "steps": pre.steps,
+        "resume_point": half,
+        "seconds": {"cold": cold_sec, "resumed_half": resumed_sec},
+        "tokens_per_sec": {
+            "cold": cold.tokens / cold_sec,
+            # resumed.tokens counts only post-resume forwards, so this
+            # rate includes the checkpoint-load overhead.
+            "resumed": resumed.tokens / resumed_sec,
+        },
+        "loss_parity": bool(np.allclose(cold.losses, resumed.losses)),
+    }
+
+
+def seed_sft_loop(cfg, base, tok, records) -> tuple[float, int]:
+    """The pre-PR ``SFTTrainer.train`` body, kept verbatim as the
+    baseline: shuffled batches padded to their longest row, reference
+    cross-entropy over every position."""
+    sft = dataclasses.replace(cfg.sft, epochs=SFT_EPOCHS)
+    model = base.copy()
+    lora_rng = derive_rng(sft.seed, "sft/lora")
+    apply_lora(model, sft.lora, lora_rng)  # same wrapping as the seed trainer
+    max_len = min(sft.max_seq_len, model.config.max_seq_len)
+    dataset = SFTDataset(records, tok, max_seq_len=max_len)
+    params = model.trainable_parameters()
+    opt = AdamW(params, lr=sft.lr, weight_decay=sft.weight_decay)
+    clipper = GradClipper(sft.grad_clip)
+    scaler = LossScaler(sft.fp16)
+    data_rng = derive_rng(sft.seed, "sft/batches")
+    model.train()
+    tokens = 0
+    t0 = time.perf_counter()
+    for _ in range(sft.epochs):
+        for batch in dataset.batches(sft.batch_size, rng=data_rng,
+                                     pad_id=tok.special.pad_id):
+            logits = model.forward(batch.ids)
+            loss = cross_entropy_logits(logits, batch.targets)
+            opt.zero_grad()
+            loss.backward(np.asarray(scaler.loss_factor(), dtype=np.float32))
+            tokens += batch.ids.size
+            if not scaler.unscale_and_check(params):
+                continue
+            clipper.clip(params)
+            opt.step()
+            if sft.fp16.enabled:
+                round_to_fp16(model, trainable_only=True)
+    model.eval()
+    return time.perf_counter() - t0, tokens
+
+
+def trainer_sft_loop(cfg, base, tok, records, bucket: bool) -> tuple[float, int]:
+    sft = dataclasses.replace(cfg.sft, epochs=SFT_EPOCHS, bucket_by_length=bucket)
+    model = base.copy()
+    # Assemble outside the timed region, mirroring the seed baseline
+    # (its clock also starts after dataset/optimizer setup) so the
+    # speedup compares loop wall-clock against loop wall-clock.
+    trainer = SFTTrainer(model, tok, sft).trainer(records)
+    t0 = time.perf_counter()
+    report = trainer.train()
+    return time.perf_counter() - t0, report.tokens
+
+
+def main() -> None:
+    cfg = PAPER_PRESET if os.environ.get("REPRO_BENCH_PRESET") == "paper" else SMALL_PRESET
+    system = HPCGPTSystem(cfg)
+    records = system.collect_data().records
+    base = system.registry.base_model("llama2-13b-sim")
+    tok = system.tokenizer
+
+    pretrain_stats = bench_pretrain(cfg)
+
+    seed_sec, seed_tokens = seed_sft_loop(cfg, base, tok, records)
+    unb_sec, unb_tokens = trainer_sft_loop(cfg, base, tok, records, bucket=False)
+    buck_sec, buck_tokens = trainer_sft_loop(cfg, base, tok, records, bucket=True)
+
+    payload = {
+        "preset": cfg.model.name,
+        "model": {
+            "dim": cfg.model.dim,
+            "n_layers": cfg.model.n_layers,
+            "vocab_size": cfg.model.vocab_size,
+            "max_seq_len": cfg.model.max_seq_len,
+        },
+        "pretrain": pretrain_stats,
+        "sft": {
+            "epochs": SFT_EPOCHS,
+            "n_records": len(records),
+            "padded_tokens": {
+                "seed_loop": seed_tokens,
+                "trainer_unbucketed": unb_tokens,
+                "trainer_bucketed": buck_tokens,
+            },
+            "seconds": {
+                "seed_loop": seed_sec,
+                "trainer_unbucketed": unb_sec,
+                "trainer_bucketed": buck_sec,
+            },
+            "tokens_per_sec": {
+                "seed_loop": seed_tokens / seed_sec,
+                "trainer_unbucketed": unb_tokens / unb_sec,
+                "trainer_bucketed": buck_tokens / buck_sec,
+            },
+            "speedup": {
+                "trainer_unbucketed_vs_seed": seed_sec / unb_sec,
+                "trainer_bucketed_vs_seed": seed_sec / buck_sec,
+            },
+        },
+    }
+    (OUT_DIR / "BENCH_train.json").write_text(json.dumps(payload, indent=1) + "\n")
+
+    sft = payload["sft"]
+    write_out(
+        "bench_train_throughput.txt",
+        "\n".join(
+            [
+                f"Training throughput ({cfg.model.name}, {len(records)} SFT records)",
+                f"  pretrain      cold: {pretrain_stats['tokens_per_sec']['cold']:9,.0f} tok/s   "
+                f"resumed: {pretrain_stats['tokens_per_sec']['resumed']:9,.0f} tok/s   "
+                f"(loss parity: {pretrain_stats['loss_parity']})",
+                f"  SFT           seed loop: {sft['seconds']['seed_loop']:.2f}s   "
+                f"trainer: {sft['seconds']['trainer_unbucketed']:.2f}s   "
+                f"bucketed: {sft['seconds']['trainer_bucketed']:.2f}s",
+                f"                speedup vs seed: "
+                f"{sft['speedup']['trainer_unbucketed_vs_seed']:.2f}x unbucketed, "
+                f"{sft['speedup']['trainer_bucketed_vs_seed']:.2f}x bucketed",
+                f"  artifact: {OUT_DIR / 'BENCH_train.json'}",
+            ]
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

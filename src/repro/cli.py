@@ -3,6 +3,9 @@
 Commands
 --------
 ``build``    collect data and fine-tune both HPC-GPT variants
+``train``    run the unified training engine (pretrain or SFT stage)
+             with mid-run checkpoints, ``--resume-from``, and a loss
+             curve JSON artifact
 ``ask``      answer a Task-1 question
 ``detect``   classify a kernel file (or stdin) for data races
 ``scan``     scan a whole source tree for data races (JSON/SARIF reports)
@@ -50,6 +53,143 @@ def cmd_build(args) -> int:
         print(f"HPC-GPT ({version.upper()}): {model.num_parameters():,} params, "
               f"threshold {system.threshold(version):+.3f}")
     return 0
+
+
+def cmd_train(args) -> int:
+    """Run one training stage through the unified engine.
+
+    ``--stage pretrain`` trains a base-model recipe standalone (own
+    tokenizer over the synthetic corpus); ``--stage sft`` fine-tunes a
+    fresh copy of the cached base on the collected instruction data.
+    Both stages checkpoint periodically and resume bit-exactly.
+    """
+    import json
+    import zipfile
+
+    from repro.train import StepInfo
+
+    if args.checkpoint_every and not args.checkpoint:
+        print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
+    # Reject silently-ignored stage mismatches (defaults are None so an
+    # explicit flag is distinguishable).
+    misused = []
+    if args.stage == "sft":
+        misused = [n for n, v in (("--steps", args.steps), ("--base", args.base)) if v is not None]
+    else:
+        misused = [n for n, v in (("--epochs", args.epochs), ("--version", args.version)) if v is not None]
+    if misused:
+        print(f"error: {', '.join(misused)} does not apply to --stage {args.stage}",
+              file=sys.stderr)
+        return 2
+    if args.warmup_steps is not None and args.schedule != "warmup-cosine":
+        print("error: --warmup-steps requires --schedule warmup-cosine",
+              file=sys.stderr)
+        return 2
+
+    def logger(info: StepInfo) -> None:
+        if args.log_every and info.step % args.log_every == 0:
+            tag = " (skipped)" if info.skipped else ""
+            print(f"  step={info.step} loss={info.loss:.4f} lr={info.lr:.2e}{tag}")
+
+    try:
+        trainer = _build_stage_trainer(args)
+    except ValueError as exc:  # config validation (bad warmup/steps combo, ...)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    trainer.callbacks.append(logger)
+    try:
+        report = trainer.train(resume_from=args.resume_from)
+    except (ValueError, KeyError, OSError, EOFError, zipfile.BadZipFile) as exc:
+        # Missing/corrupt/stage-mismatched --resume-from checkpoints.
+        # Anything raised without --resume-from is not a resume problem;
+        # let it surface unblamed.
+        if args.resume_from is None:
+            raise
+        print(f"error: cannot resume from {args.resume_from!r}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{args.stage}: {report.steps} steps "
+        f"({report.skipped_steps} skipped, resumed from {report.resumed_from_step}), "
+        f"{report.tokens} tokens in {report.seconds:.1f}s, "
+        f"final loss {report.mean_loss(5):.4f}"
+    )
+    if args.checkpoint:
+        # Always leave the file at the final step — periodic saves stop
+        # one interval early, and a stale mid-run checkpoint silently
+        # serves old weights to whoever loads it as "the trained model".
+        trainer.save_checkpoint(args.checkpoint)
+        print(f"wrote final checkpoint to {args.checkpoint}")
+    if args.loss_out:
+        curve = {
+            "stage": args.stage,
+            "preset": args.preset,
+            "steps": report.steps,
+            "skipped_steps": report.skipped_steps,
+            "resumed_from_step": report.resumed_from_step,
+            # Whole-run counters (steps/losses include the pre-resume
+            # prefix restored from the checkpoint); the *_this_run pair
+            # covers only the work this invocation actually did.
+            "tokens_this_run": report.tokens,
+            "seconds_this_run": report.seconds,
+            "losses": report.losses,
+        }
+        Path(args.loss_out).write_text(json.dumps(curve, indent=1) + "\n")
+        print(f"wrote loss curve to {args.loss_out}")
+    return 0
+
+
+def _build_stage_trainer(args):
+    """Assemble the Trainer for the requested stage (raises ValueError
+    on invalid config combinations)."""
+    import dataclasses
+
+    if args.stage == "pretrain":
+        from repro.llm.pretrain import pretrain_trainer
+        from repro.llm.registry import BASE_RECIPES
+
+        base_name = args.base or "llama2-13b-sim"
+        system = _make_system(args.preset)
+        recipe = BASE_RECIPES[base_name]
+        pre = dataclasses.replace(
+            system.config.pretrain,
+            corpus_scale=recipe["corpus_scale"],
+            seed=recipe["seed"],
+        )
+        if args.steps is not None:
+            pre = dataclasses.replace(pre, steps=args.steps)
+        if args.schedule is not None:
+            pre = dataclasses.replace(
+                pre, schedule=args.schedule, warmup_steps=args.warmup_steps or 0
+            )
+        model_cfg = dataclasses.replace(system.config.model, name=base_name)
+        trainer, _ = pretrain_trainer(
+            model_cfg,
+            pre,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+        )
+    else:
+        system = _make_system(args.preset)
+        from repro.core.hpcgpt import _BASES
+        from repro.finetune import SFTTrainer
+
+        sft_cfg = system.config.sft
+        if args.epochs is not None:
+            sft_cfg = dataclasses.replace(sft_cfg, epochs=args.epochs)
+        if args.schedule is not None:
+            sft_cfg = dataclasses.replace(
+                sft_cfg, schedule=args.schedule, warmup_steps=args.warmup_steps or 0
+            )
+        model = system.registry.base_model(_BASES[args.version or "l2"]).copy()
+        records = system.collect_data().records
+        trainer = SFTTrainer(model, system.tokenizer, sft_cfg).trainer(
+            records,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+        )
+    return trainer
 
 
 def cmd_ask(args) -> int:
@@ -148,6 +288,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("build", help="collect data and fine-tune HPC-GPT")
     _add_preset_arg(p)
     p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser(
+        "train", help="run the unified training engine (checkpoint + resume)"
+    )
+    _add_preset_arg(p)
+    p.add_argument("--stage", choices=["pretrain", "sft"], default="pretrain",
+                   help="which training stage to run (default: pretrain)")
+    p.add_argument("--base", choices=["llama-13b-sim", "llama2-13b-sim"],
+                   help="base-model recipe for --stage pretrain "
+                        "(default: llama2-13b-sim)")
+    p.add_argument("--version", choices=["l1", "l2"],
+                   help="HPC-GPT variant for --stage sft (default: l2)")
+    p.add_argument("--steps", type=int, help="override pretrain step count")
+    p.add_argument("--epochs", type=int, help="override SFT epoch count")
+    p.add_argument("--schedule", choices=["constant", "cosine", "warmup-cosine"],
+                   help="LR schedule (default: the preset's)")
+    p.add_argument("--warmup-steps", type=int,
+                   help="warmup steps (only with --schedule warmup-cosine)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="checkpoint file (written periodically with "
+                        "--checkpoint-every, else once at the end)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="save the checkpoint every K steps")
+    p.add_argument("--resume-from", metavar="PATH",
+                   help="resume bit-exactly from a checkpoint file")
+    p.add_argument("--loss-out", metavar="PATH",
+                   help="write the loss-curve JSON here")
+    p.add_argument("--log-every", type=int, default=0, metavar="N",
+                   help="print loss every N steps")
+    p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("ask", help="answer a Task-1 question")
     _add_preset_arg(p)

@@ -4,22 +4,30 @@ Recipe knobs mirror the paper: constant learning rate (2e-5 on the real
 13B models; scaled up for the tiny substrate), batch size 16, LoRA with
 PEFT semantics (base frozen, adapters trained), fp16 simulation, and
 gradient clipping.
+
+The loop itself is the unified :class:`repro.train.Trainer` — this
+module owns only the SFT-specific parts: LoRA application, the chat
+-formatted dataset, and length-bucketed batching (a shuffled batch no
+longer pads every row to the longest row the shuffle dealt it).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.datagen.schema import InstructionRecord
 from repro.finetune.dataset import SFTDataset
-from repro.finetune.fp16 import Fp16Config, LossScaler, round_to_fp16
 from repro.llm.model import CausalLM
-from repro.nn import AdamW, GradClipper, LoRAConfig, apply_lora
-from repro.tensor import cross_entropy_logits
+from repro.nn import LoRAConfig, apply_lora
 from repro.tokenizer import BPETokenizer
+from repro.train import (
+    Fp16Config,
+    PaddedExampleSource,
+    Trainer,
+    TrainerConfig,
+)
 from repro.utils.rng import derive_rng
 
 
@@ -34,7 +42,14 @@ class SFTConfig:
     lora: LoRAConfig = field(default_factory=lambda: LoRAConfig(rank=4))
     fp16: Fp16Config = field(default_factory=Fp16Config)
     grad_clip: float = 1.0
+    grad_accum: int = 1
     weight_decay: float = 0.0
+    schedule: str = "constant"  # the paper trains at a constant LR
+    warmup_steps: int = 0
+    min_lr: float = 0.0
+    #: Group batches by length (cuts padded-token waste); ``False``
+    #: reproduces the seed loop's shuffle-then-pad batching.
+    bucket_by_length: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -61,6 +76,21 @@ class TrainStats:
         tail = self.losses[-last:] if self.losses else [float("nan")]
         return float(np.mean(tail))
 
+    @classmethod
+    def from_report(
+        cls, report, trainable_params: int, total_params: int
+    ) -> "TrainStats":
+        """Wrap a :class:`repro.train.TrainReport` — the single place
+        that maps engine counters onto the SFT-facing stats."""
+        return cls(
+            losses=report.losses,
+            steps=report.steps,
+            skipped_steps=report.skipped_steps,
+            seconds=report.seconds,
+            trainable_params=trainable_params,
+            total_params=total_params,
+        )
+
 
 class SFTTrainer:
     """Fine-tunes a model in place on instruction records."""
@@ -72,43 +102,66 @@ class SFTTrainer:
         self.tokenizer = tokenizer
         self.config = config or SFTConfig()
 
-    def train(self, records: list[InstructionRecord]) -> TrainStats:
+    def trainer(
+        self,
+        records: list[InstructionRecord],
+        checkpoint_every: int = 0,
+        checkpoint_path: str | None = None,
+    ) -> Trainer:
+        """Apply LoRA and assemble (but do not run) the unified
+        :class:`repro.train.Trainer` for ``records`` — the CLI and
+        benchmarks hook callbacks / resume through this."""
         cfg = self.config
         model = self.model
-        stats = TrainStats(total_params=model.num_parameters())
 
         lora_rng = derive_rng(cfg.seed, "sft/lora")
         wrapped = apply_lora(model, cfg.lora, lora_rng)
         if cfg.lora.rank > 0 and not wrapped:
             raise RuntimeError("LoRA requested but no target modules matched")
-        stats.trainable_params = model.num_parameters(trainable_only=True)
 
         max_len = min(cfg.max_seq_len, model.config.max_seq_len)
         dataset = SFTDataset(records, self.tokenizer, max_seq_len=max_len)
-        params = model.trainable_parameters()
-        opt = AdamW(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
-        clipper = GradClipper(cfg.grad_clip)
-        scaler = LossScaler(cfg.fp16)
-        data_rng = derive_rng(cfg.seed, "sft/batches")
+        source = PaddedExampleSource(
+            dataset.examples,
+            cfg.batch_size,
+            pad_id=self.tokenizer.special.pad_id,
+            ignore_index=dataset.ignore_index,
+            seed=cfg.seed,
+            scope="sft/batches",
+            bucket_by_length=cfg.bucket_by_length,
+        )
+        # ``epochs`` counts dataset passes: each optimizer step consumes
+        # ``grad_accum`` batches, so divide (min 1) or accumulation
+        # would silently multiply the passes.
+        total_batches = cfg.epochs * source.steps_per_epoch
+        tcfg = TrainerConfig(
+            max_steps=max(1, total_batches // cfg.grad_accum),
+            lr=cfg.lr,
+            optimizer="adamw",
+            weight_decay=cfg.weight_decay,
+            schedule=cfg.schedule,
+            warmup_steps=cfg.warmup_steps,
+            min_lr=cfg.min_lr,
+            grad_clip=cfg.grad_clip,
+            grad_accum=cfg.grad_accum,
+            fp16=cfg.fp16,
+            loss_on="supervised",
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        return Trainer(model, source, tcfg)
 
-        model.train()
-        t0 = time.perf_counter()
-        for _epoch in range(cfg.epochs):
-            for batch in dataset.batches(cfg.batch_size, rng=data_rng,
-                                         pad_id=self.tokenizer.special.pad_id):
-                logits = model.forward(batch.ids)
-                loss = cross_entropy_logits(logits, batch.targets)
-                opt.zero_grad()
-                loss.backward(np.asarray(scaler.loss_factor(), dtype=np.float32))
-                if not scaler.unscale_and_check(params):
-                    stats.skipped_steps += 1
-                    continue
-                clipper.clip(params)
-                opt.step()
-                if cfg.fp16.enabled:
-                    round_to_fp16(model, trainable_only=True)
-                stats.losses.append(loss.item())
-                stats.steps += 1
-        stats.seconds = time.perf_counter() - t0
-        model.eval()
-        return stats
+    def train(
+        self,
+        records: list[InstructionRecord],
+        resume_from: str | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: str | None = None,
+    ) -> TrainStats:
+        total_params = self.model.num_parameters()
+        trainer = self.trainer(
+            records, checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_path
+        )
+        trainable_params = self.model.num_parameters(trainable_only=True)
+        report = trainer.train(resume_from=resume_from)
+        return TrainStats.from_report(report, trainable_params, total_params)

@@ -87,6 +87,7 @@ class CausalLM(Module):
         attn_mask: np.ndarray | None = None,
         positions: np.ndarray | None = None,
         q_tail: int | None = None,
+        return_hidden: bool = False,
     ) -> Tensor:
         """Return logits of shape (B, T, vocab) — or (B, q_tail, vocab).
 
@@ -110,6 +111,12 @@ class CausalLM(Module):
             scoring and prefill need just the last position's logits, and
             this prunes the largest per-token costs of producing them.
             KV caches (when given) still record every position.
+        return_hidden:
+            Return the final *normed hidden states* (B, T, dim) instead
+            of logits, skipping the LM head.  The training engine uses
+            this to project only supervised positions through the head
+            (see :meth:`output_logits`) — SFT supervises a small tail of
+            each row, so the full-T head matmul is mostly wasted there.
         """
         ids = np.asarray(ids)
         if ids.ndim == 1:
@@ -128,9 +135,16 @@ class CausalLM(Module):
                 q_tail=q_tail if i == last else None,
             )
         x = self.norm(x)
+        if return_hidden:
+            return x
+        return self.output_logits(x)
+
+    def output_logits(self, hidden: Tensor) -> Tensor:
+        """Project hidden states (..., dim) to vocab logits — the LM
+        head, exposed so callers can apply it to a subset of positions."""
         if self.lm_head is not None:
-            return self.lm_head(x)
-        return x @ self.tok_emb.weight.T
+            return self.lm_head(hidden)
+        return hidden @ self.tok_emb.weight.T
 
     def loss(
         self, ids: np.ndarray, targets: np.ndarray, ignore_index: int = -100

@@ -15,9 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.llm.model import CausalLM, ModelConfig
-from repro.nn import AdamW, GradClipper
-from repro.tensor import cross_entropy_logits
 from repro.tokenizer import BPETokenizer
+from repro.train import TokenStreamSource, Trainer, TrainerConfig
 from repro.utils.rng import derive_rng
 
 # Template vocabulary for the synthetic general-domain corpus.  Kept
@@ -59,6 +58,9 @@ class PretrainConfig:
     lr: float = 3e-3
     corpus_scale: float = 1.0  # LLaMA-2 sim uses 1.4 (40% more data)
     seed: int = 0
+    schedule: str = "constant"  # constant | cosine | warmup-cosine
+    warmup_steps: int = 0
+    min_lr: float = 0.0
 
 
 def build_general_corpus(config: PretrainConfig) -> list[str]:
@@ -108,14 +110,20 @@ def _pack_stream(
     return rows.copy()
 
 
-def pretrain(
+def pretrain_trainer(
     config: ModelConfig,
     pre: PretrainConfig,
     tokenizer: BPETokenizer | None = None,
     corpus: list[str] | None = None,
-    log_every: int = 0,
-) -> tuple[CausalLM, BPETokenizer, list[float]]:
-    """Pretrain a fresh model; returns (model, tokenizer, loss curve)."""
+    checkpoint_every: int = 0,
+    checkpoint_path: str | None = None,
+) -> tuple[Trainer, BPETokenizer]:
+    """Assemble (but do not run) the pretraining :class:`Trainer`.
+
+    The CLI uses this to attach logging callbacks and resume from a
+    :mod:`repro.train.checkpoint` file; :func:`pretrain` is the
+    run-to-completion convenience wrapper.
+    """
     corpus = corpus if corpus is not None else build_general_corpus(pre)
     tokenizer = tokenizer or train_tokenizer_on(corpus, vocab_size=config.vocab_size)
     if tokenizer.vocab_size > config.vocab_size:
@@ -123,24 +131,46 @@ def pretrain(
             f"tokenizer vocab {tokenizer.vocab_size} exceeds model vocab {config.vocab_size}"
         )
     rows = _pack_stream(tokenizer, corpus, pre.seq_len)
-    rng = derive_rng(pre.seed, f"pretrain/init/{config.name}")
-    data_rng = derive_rng(pre.seed, f"pretrain/batches/{config.name}")
-    model = CausalLM(config, rng)
-    opt = AdamW(model.trainable_parameters(), lr=pre.lr, weight_decay=0.01)
-    clipper = GradClipper(1.0)
-    losses: list[float] = []
-    for step in range(pre.steps):
-        idx = data_rng.integers(0, rows.shape[0], size=pre.batch_size)
-        batch = rows[idx]
-        ids, targets = batch[:, :-1], batch[:, 1:]
-        logits = model.forward(ids)
-        loss = cross_entropy_logits(logits, targets)
-        opt.zero_grad()
-        loss.backward()
-        clipper.clip(model.trainable_parameters())
-        opt.step()
-        losses.append(loss.item())
-        if log_every and step % log_every == 0:  # pragma: no cover
-            print(f"  pretrain[{config.name}] step={step} loss={losses[-1]:.3f}")
-    model.eval()
-    return model, tokenizer, losses
+    model = CausalLM(config, derive_rng(pre.seed, f"pretrain/init/{config.name}"))
+    # Same scope (and draw pattern) as the pre-engine loop, so a given
+    # (seed, name) sees the seed loop's batch sequence.
+    source = TokenStreamSource(
+        rows, pre.batch_size, seed=pre.seed, scope=f"pretrain/batches/{config.name}"
+    )
+    tcfg = TrainerConfig(
+        max_steps=pre.steps,
+        lr=pre.lr,
+        optimizer="adamw",
+        weight_decay=0.01,
+        schedule=pre.schedule,
+        warmup_steps=pre.warmup_steps,
+        min_lr=pre.min_lr,
+        grad_clip=1.0,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+    return Trainer(model, source, tcfg), tokenizer
+
+
+def pretrain(
+    config: ModelConfig,
+    pre: PretrainConfig,
+    tokenizer: BPETokenizer | None = None,
+    corpus: list[str] | None = None,
+    log_every: int = 0,
+) -> tuple[CausalLM, BPETokenizer, list[float]]:
+    """Pretrain a fresh model; returns (model, tokenizer, loss curve).
+
+    Delegates to the unified :class:`repro.train.Trainer` — the single
+    training loop shared with SFT and §5 updates.
+    """
+    callbacks = []
+    if log_every:  # pragma: no cover - logging only
+        callbacks.append(
+            lambda info: info.step % log_every == 0
+            and print(f"  pretrain[{config.name}] step={info.step} loss={info.loss:.3f}")
+        )
+    trainer, tokenizer = pretrain_trainer(config, pre, tokenizer, corpus)
+    trainer.callbacks.extend(callbacks)
+    report = trainer.train()
+    return trainer.model, tokenizer, report.losses

@@ -69,16 +69,33 @@ class ModelRegistry:
     # -- identity of the build (for disk cache invalidation) ----------------
 
     def _cache_key(self, name: str) -> str:
-        mc, pc = self.model_config, self.pretrain_config
-        import hashlib
+        """Checkpoint identity for ``name``: the *full* model and
+        pretrain configs plus the extra tokenizer texts.
 
-        extra_sig = hashlib.blake2b(
-            "\n".join(self.extra_tokenizer_texts).encode(), digest_size=6
-        ).hexdigest()
-        return (
-            f"{name}-v{mc.vocab_size}d{mc.dim}l{mc.n_layers}h{mc.n_heads}"
-            f"s{pc.steps}n{pc.n_sentences}-x{extra_sig}"
+        Every field matters: the key used to omit ``lr``, ``seq_len``,
+        and the per-recipe ``corpus_scale``/``seed``, so changing any of
+        them silently served a stale base checkpoint.  Hashing the
+        complete dataclasses (plus a schema-independent recipe dump)
+        makes new knobs self-invalidating.
+        """
+        import dataclasses
+        import hashlib
+        import json
+
+        mc, pc = self.model_config, self.pretrain_config
+        recipe = BASE_RECIPES.get(name, {})
+        payload = json.dumps(
+            {
+                "model": dataclasses.asdict(mc),
+                "pretrain": dataclasses.asdict(pc),
+                "recipe": dict(sorted(recipe.items())),
+                "extra_texts": self.extra_tokenizer_texts,
+            },
+            sort_keys=True,
+            default=str,
         )
+        sig = hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+        return f"{name}-v{mc.vocab_size}d{mc.dim}l{mc.n_layers}-{sig}"
 
     # -- tokenizer -----------------------------------------------------------
 
@@ -122,25 +139,17 @@ class ModelRegistry:
             model.eval()
             self._models[name] = model
             return model
-        pre = PretrainConfig(
-            n_sentences=self.pretrain_config.n_sentences,
-            seq_len=self.pretrain_config.seq_len,
-            batch_size=self.pretrain_config.batch_size,
-            steps=self.pretrain_config.steps,
-            lr=self.pretrain_config.lr,
+        import dataclasses
+
+        # replace() carries every recipe knob (incl. future ones) into
+        # the per-base configs; only the recipe overrides and the model
+        # name differ.
+        pre = dataclasses.replace(
+            self.pretrain_config,
             corpus_scale=recipe["corpus_scale"],
             seed=recipe["seed"],
         )
-        cfg = ModelConfig(
-            vocab_size=self.model_config.vocab_size,
-            dim=self.model_config.dim,
-            n_layers=self.model_config.n_layers,
-            n_heads=self.model_config.n_heads,
-            hidden_dim=self.model_config.hidden_dim,
-            max_seq_len=self.model_config.max_seq_len,
-            name=name,
-            tie_embeddings=self.model_config.tie_embeddings,
-        )
+        cfg = dataclasses.replace(self.model_config, name=name)
         corpus = build_general_corpus(pre)
         model, _, _ = pretrain(cfg, pre, tokenizer=tok, corpus=corpus)
         if ckpt is not None:

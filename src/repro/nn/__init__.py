@@ -19,7 +19,7 @@ from repro.nn.transformer import SwiGLU, TransformerBlock
 from repro.nn.lora import LoRAConfig, LoRALinear, apply_lora, lora_state, merge_lora
 from repro.nn.optim import SGD, AdamW, GradClipper, Optimizer
 from repro.nn.schedule import ConstantLR, CosineLR, LinearWarmupCosine
-from repro.nn.serialization import load_state, save_state, state_dict_to_bytes
+from repro.nn.serialization import atomic_savez, load_state, save_state, state_dict_to_bytes
 
 __all__ = [
     "Module",
@@ -47,6 +47,7 @@ __all__ = [
     "ConstantLR",
     "CosineLR",
     "LinearWarmupCosine",
+    "atomic_savez",
     "save_state",
     "load_state",
     "state_dict_to_bytes",

@@ -30,6 +30,35 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- resumable state ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat array mapping of every slot buffer (and step counters),
+        keyed like ``"m.3"``.  Slot order follows ``self.params``, which
+        is deterministic (module definition order), so a checkpoint
+        written by one process resumes bit-exactly in another."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state:
+            raise KeyError(f"unexpected optimizer state: {sorted(state)}")
+
+    @staticmethod
+    def _load_slots(
+        slots: list[np.ndarray], state: dict[str, np.ndarray], prefix: str
+    ) -> None:
+        for i, buf in enumerate(slots):
+            key = f"{prefix}.{i}"
+            if key not in state:
+                raise KeyError(f"optimizer state missing {key!r}")
+            arr = np.asarray(state[key], dtype=buf.dtype)
+            if arr.shape != buf.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {key}: "
+                    f"have {buf.shape}, got {arr.shape}"
+                )
+            slots[i] = arr.copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -51,6 +80,12 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._load_slots(self._velocity, state, "velocity")
 
 
 class AdamW(Optimizer):
@@ -93,6 +128,19 @@ class AdamW(Optimizer):
             if self.weight_decay:
                 p.data -= self.lr * self.weight_decay * p.data
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {"t": np.asarray(self.t, dtype=np.int64)}
+        out.update({f"m.{i}": m.copy() for i, m in enumerate(self._m)})
+        out.update({f"v.{i}": v.copy() for i, v in enumerate(self._v)})
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise KeyError("optimizer state missing 't'")
+        self.t = int(np.asarray(state["t"]).reshape(()))
+        self._load_slots(self._m, state, "m")
+        self._load_slots(self._v, state, "v")
 
 
 class GradClipper:

@@ -17,7 +17,7 @@ at once — the "scan my repo" workload of real race-detection tooling:
 
 from repro.scan.cache import VerdictCache, kernel_key
 from repro.scan.extractor import ExtractedKernel, extract_kernels
-from repro.scan.jobs import ScanJobQueue
+from repro.scan.jobs import Job, JobQueue, ScanJobQueue
 from repro.scan.pipeline import ScanConfig, ScanPipeline
 from repro.scan.report import KernelResult, ScanReport
 from repro.scan.sarif import to_sarif
@@ -27,6 +27,8 @@ __all__ = [
     "ExtractedKernel",
     "KernelResult",
     "ScanConfig",
+    "Job",
+    "JobQueue",
     "ScanJobQueue",
     "ScanPipeline",
     "ScanReport",

@@ -1,10 +1,17 @@
-"""Async job queue for repository scans.
+"""Async job queue for long-running server work (scans, §5 updates).
 
-``POST /api/scan`` must not block the HTTP handler (a scan can take
+``POST /api/scan`` and ``POST /api/update`` must not block the HTTP
+handler (a repository scan or a continual-learning update can take
 minutes), and must not stampede the model: jobs run one at a time on a
 single daemon worker, while submission and status polling are O(1)
 dictionary operations.  Finished jobs keep their result until the queue
 is closed (a bounded history evicts the oldest finished jobs).
+
+:class:`JobQueue` is generic — a *kind* names the job-id prefix, a
+*subject_key* names how the job's subject serialises (``"path"`` for
+scans, ``"version"`` for updates), and a *result_key* names the result
+field.  :class:`ScanJobQueue` keeps the original scan-flavoured
+defaults.
 """
 
 from __future__ import annotations
@@ -20,10 +27,12 @@ QUEUED, RUNNING, DONE, ERROR = "queued", "running", "done", "error"
 
 
 @dataclass
-class ScanJob:
+class Job:
     id: str
-    path: str
+    subject: str
     options: dict = field(default_factory=dict)
+    subject_key: str = "path"
+    result_key: str = "report"
     status: str = QUEUED
     result: dict | None = None
     error: str | None = None
@@ -31,10 +40,15 @@ class ScanJob:
     started_at: float | None = None
     finished_at: float | None = None
 
+    @property
+    def path(self) -> str:
+        """Back-compat alias: a scan job's subject is its path."""
+        return self.subject
+
     def to_dict(self, include_result: bool = True) -> dict:
         out = {
             "id": self.id,
-            "path": self.path,
+            self.subject_key: self.subject,
             "status": self.status,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -43,26 +57,36 @@ class ScanJob:
         if self.error is not None:
             out["error"] = self.error
         if include_result and self.result is not None:
-            out["report"] = self.result
+            out[self.result_key] = self.result
         return out
 
 
-class ScanJobQueue:
-    """One worker thread draining scan jobs through a runner callable.
+#: Back-compat name (the queue predates non-scan jobs).
+ScanJob = Job
 
-    ``runner(path, options) -> dict`` does the actual scan and returns
-    the JSON-ready report; exceptions mark the job ``error`` (the queue
-    itself never dies).
+
+class JobQueue:
+    """One worker thread draining jobs through a runner callable.
+
+    ``runner(subject, options) -> dict`` does the actual work and
+    returns the JSON-ready result; exceptions mark the job ``error``
+    (the queue itself never dies).
     """
 
     def __init__(
         self,
         runner: Callable[[str, dict], dict],
         max_finished: int = 64,
+        kind: str = "scan",
+        subject_key: str = "path",
+        result_key: str = "report",
     ) -> None:
         self._runner = runner
         self._max_finished = max_finished
-        self._jobs: dict[str, ScanJob] = {}
+        self._kind = kind
+        self._subject_key = subject_key
+        self._result_key = result_key
+        self._jobs: dict[str, Job] = {}
         self._order: list[str] = []  # submission order, for eviction
         self._counter = itertools.count(1)
         self._queue: "queue.Queue[Any]" = queue.Queue()
@@ -73,23 +97,28 @@ class ScanJobQueue:
 
     # -- API -----------------------------------------------------------------
 
-    def submit(self, path: str, options: dict | None = None) -> ScanJob:
+    def submit(self, subject: str, options: dict | None = None) -> Job:
         with self._lock:
             if self._closed:
-                raise RuntimeError("ScanJobQueue is closed")
-            job = ScanJob(id=f"scan-{next(self._counter):06d}", path=str(path),
-                          options=dict(options or {}))
+                raise RuntimeError(f"{type(self).__name__} is closed")
+            job = Job(
+                id=f"{self._kind}-{next(self._counter):06d}",
+                subject=str(subject),
+                options=dict(options or {}),
+                subject_key=self._subject_key,
+                result_key=self._result_key,
+            )
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._evict_locked()
         self._queue.put(job.id)
         return job
 
-    def get(self, job_id: str) -> ScanJob | None:
+    def get(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
 
-    def jobs(self) -> list[ScanJob]:
+    def jobs(self) -> list[Job]:
         with self._lock:
             return [self._jobs[i] for i in self._order if i in self._jobs]
 
@@ -123,9 +152,13 @@ class ScanJobQueue:
             job.status = RUNNING
             job.started_at = time.time()
             try:
-                job.result = self._runner(job.path, job.options)
+                job.result = self._runner(job.subject, job.options)
                 job.status = DONE
             except Exception as exc:  # noqa: BLE001 - report, keep serving
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.status = ERROR
             job.finished_at = time.time()
+
+
+class ScanJobQueue(JobQueue):
+    """The repository-scan queue (original defaults)."""

@@ -33,7 +33,25 @@ class HPCGPTClient:
     def detect(self, code: str, language: str = "C/C++") -> str:
         return self._post("/api/detect", {"code": code, "language": language})["data_race"]
 
-    # -- repository scans (async job queue) --------------------------------
+    # -- async job polling (scans + updates) -------------------------------
+
+    def _job_status(self, api: str, job_id: str) -> dict:
+        with urllib.request.urlopen(
+            f"{self.base_url}/api/{api}/{job_id}", timeout=30
+        ) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def _job_wait(self, api: str, job_id: str, timeout: float, poll_s: float) -> dict:
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self._job_status(api, job_id)
+            if status["status"] in ("done", "error"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"{api} job {job_id} still {status['status']!r}")
+            time.sleep(poll_s)
+
+    # -- repository scans --------------------------------------------------
 
     def scan_start(self, path: str, **options) -> str:
         """Queue a repository scan; returns the job id."""
@@ -41,18 +59,30 @@ class HPCGPTClient:
 
     def scan_status(self, job_id: str) -> dict:
         """Current job state (includes the report once ``done``)."""
-        with urllib.request.urlopen(
-            f"{self.base_url}/api/scan/{job_id}", timeout=30
-        ) as resp:
-            return json.loads(resp.read().decode("utf-8"))
+        return self._job_status("scan", job_id)
 
     def scan_wait(self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2) -> dict:
         """Poll until the job finishes (or ``timeout`` elapses)."""
-        deadline = time.monotonic() + timeout
-        while True:
-            status = self.scan_status(job_id)
-            if status["status"] in ("done", "error"):
-                return status
-            if time.monotonic() >= deadline:
-                raise TimeoutError(f"scan job {job_id} still {status['status']!r}")
-            time.sleep(poll_s)
+        return self._job_wait("scan", job_id, timeout, poll_s)
+
+    # -- §5 continual updates ----------------------------------------------
+
+    def update_start(self, records, version: str = "l2", epochs: int | None = None) -> str:
+        """Queue a continual-learning update on new instruction records
+        (dicts in the paper's training JSON, or ``InstructionRecord``
+        objects); returns the job id."""
+        payload_records = [
+            r.to_json() if hasattr(r, "to_json") else r for r in records
+        ]
+        body: dict = {"records": payload_records, "version": version}
+        if epochs is not None:
+            body["epochs"] = epochs
+        return self._post("/api/update", body)["id"]
+
+    def update_status(self, job_id: str) -> dict:
+        """Current update-job state (includes the result once ``done``)."""
+        return self._job_status("update", job_id)
+
+    def update_wait(self, job_id: str, timeout: float = 600.0, poll_s: float = 0.2) -> dict:
+        """Poll until the update finishes (or ``timeout`` elapses)."""
+        return self._job_wait("update", job_id, timeout, poll_s)

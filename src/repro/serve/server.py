@@ -9,7 +9,14 @@ Endpoints (JSON over HTTP, stdlib ``http.server`` — no dependencies):
 * ``POST /api/scan``      — ``{"path": ...}`` -> queued scan job id
   (long repository scans run on an async job queue, so they never
   block the micro-batcher serving answer/detect traffic);
-* ``GET  /api/scan/<id>`` — job status, and the full report when done.
+* ``GET  /api/scan/<id>`` — job status, and the full report when done;
+* ``POST /api/update``    — ``{"records": [...]}`` -> queued §5
+  continual-learning job: resumes training on the new instruction
+  records through the unified trainer, recalibrates the detection
+  threshold, persists the update checkpoint, and rebuilds the engine
+  (submission is non-blocking; the retrain phase holds the system
+  lock, so answer/detect traffic queues until it completes);
+* ``GET  /api/update/<id>`` — update job status + result when done.
 
 ``ThreadingHTTPServer`` handles each request on its own thread, so
 requests are funnelled through a :class:`ServingFrontend`: first-touch
@@ -73,6 +80,19 @@ class ServingFrontend:
         self._detect_queue = MicroBatcher(self._detect_many, window_ms, max_batch)
         self._scan_queue = None  # lazily built on first /api/scan
         self._scan_queue_lock = threading.Lock()
+        self._update_queue = None  # lazily built on first /api/update
+        self._update_queue_lock = threading.Lock()
+        # Last model served per version: lets /health answer while an
+        # update job holds the system lock for a multi-minute retrain
+        # (liveness probes must not time out mid-update).
+        self._model_cache: dict[str, object] = {}
+        # Scans and updates run on separate queue workers; this mutex
+        # keeps them mutually exclusive.  A scan captures the engine and
+        # its cache fingerprint (model + threshold) at start, so an
+        # update landing mid-scan would have it score through stale
+        # engine state and persist post-update verdicts under the
+        # pre-update cache key.  Answer/detect traffic is unaffected.
+        self._maintenance_lock = threading.Lock()
 
     # -- batch runners (worker threads) --------------------------------------
 
@@ -135,8 +155,23 @@ class ServingFrontend:
         return self._detect_queue.submit((code, language))
 
     def finetuned(self, version: str = "l2"):
+        if self._system_lock.acquire(timeout=0.05):
+            try:
+                model = self.system.finetuned(version)
+                self._model_cache[version] = model
+                return model
+            finally:
+                self._system_lock.release()
+        # Lock busy (e.g. an update retraining): serve the last-known
+        # model so /health stays live.  Cold systems (nothing cached
+        # yet) still wait for the first build.
+        model = self._model_cache.get(version)
+        if model is not None:
+            return model
         with self._system_lock:
-            return self.system.finetuned(version)
+            model = self.system.finetuned(version)
+            self._model_cache[version] = model
+            return model
 
     # -- repository scans (async job queue) ----------------------------------
 
@@ -158,7 +193,8 @@ class ServingFrontend:
             config=config,
             llm_lock=self._system_lock,
         )
-        return pipeline.scan(path).to_dict()
+        with self._maintenance_lock:
+            return pipeline.scan(path).to_dict()
 
     def scan_submit(self, path: str, options: dict):
         from repro.scan import ScanJobQueue
@@ -174,12 +210,77 @@ class ServingFrontend:
                 return None
         return self._scan_queue.get(job_id)
 
+    # -- §5 continual updates (async job queue) ------------------------------
+
+    def _update_runner(self, version: str, options: dict) -> dict:
+        """One update job: resume training on the new records, then
+        leave the system serving the updated model.  Holds the system
+        lock end-to-end — answers served mid-retrain would mix weights
+        from half-applied steps."""
+        import dataclasses
+
+        from repro.datagen.schema import InstructionRecord
+
+        def parse(d: dict) -> InstructionRecord:
+            rec = InstructionRecord.from_json(d)
+            # Plain API payloads may carry task/language at the top
+            # level instead of under "meta"; honour them — calibration
+            # refits the detection threshold only over records tagged
+            # task="datarace", so dropping the tag would silently
+            # exclude new race examples from recalibration.
+            updates = {
+                field: str(d[field])
+                for field in ("task", "language")
+                if not getattr(rec, field) and d.get(field)
+            }
+            return dataclasses.replace(rec, **updates) if updates else rec
+
+        records = [parse(d) for d in options["records"]]
+        epochs = options.get("epochs")
+        with self._maintenance_lock, self._system_lock:
+            stats = self.system.update_with(records, version=version, epochs=epochs)
+            threshold = self.system.threshold(version)
+            if hasattr(self.system, "engine"):
+                # Rebuild eagerly so the first post-update request does
+                # not pay the engine warm-up.
+                self.system.engine(version)
+        result = {"version": version, "n_records": len(records),
+                  "threshold": float(threshold)}
+        if stats is not None:
+            result.update(
+                steps=int(stats.steps),
+                skipped_steps=int(stats.skipped_steps),
+                mean_loss=float(stats.mean_loss()),
+                seconds=float(stats.seconds),
+            )
+        return result
+
+    def update_submit(self, version: str, options: dict):
+        from repro.scan import JobQueue
+
+        with self._update_queue_lock:
+            if self._update_queue is None:
+                self._update_queue = JobQueue(
+                    self._update_runner, kind="update",
+                    subject_key="version", result_key="result",
+                )
+            return self._update_queue.submit(version, options)
+
+    def update_job(self, job_id: str):
+        with self._update_queue_lock:
+            if self._update_queue is None:
+                return None
+        return self._update_queue.get(job_id)
+
     def close(self) -> None:
         self._answer_queue.close()
         self._detect_queue.close()
         with self._scan_queue_lock:
             if self._scan_queue is not None:
                 self._scan_queue.close()
+        with self._update_queue_lock:
+            if self._update_queue is not None:
+                self._update_queue.close()
 
 
 class HPCGPTRequestHandler(BaseHTTPRequestHandler):
@@ -220,6 +321,13 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
             job = self.frontend.scan_job(job_id)
             if job is None:
                 self._send(404, {"error": f"unknown scan job {job_id!r}"})
+            else:
+                self._send(200, job.to_dict())
+        elif self.path.startswith("/api/update/"):
+            job_id = self.path[len("/api/update/"):]
+            job = self.frontend.update_job(job_id)
+            if job is None:
+                self._send(404, {"error": f"unknown update job {job_id!r}"})
             else:
                 self._send(200, job.to_dict())
         elif self.path == "/health":
@@ -264,6 +372,8 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
             self._send(200, {"language": language, "data_race": verdict})
         elif self.path == "/api/scan":
             self._post_scan(payload)
+        elif self.path == "/api/update":
+            self._post_update(payload)
         else:
             self._send(404, {"error": f"unknown path {self.path}"})
 
@@ -292,6 +402,35 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
             return
         job = self.frontend.scan_submit(path, options)
         self._send(202, {"id": job.id, "status": job.status, "path": job.path})
+
+    def _post_update(self, payload: dict) -> None:
+        records = payload.get("records")
+        if not isinstance(records, list) or not records:
+            self._send(400, {"error": "missing 'records' (non-empty list)"})
+            return
+        for i, rec in enumerate(records):
+            if not isinstance(rec, dict) or not rec.get("instruction") or "output" not in rec:
+                self._send(
+                    400,
+                    {"error": f"records[{i}] needs 'instruction' and 'output' fields"},
+                )
+                return
+        version = str(payload.get("version", "l2"))
+        if version not in ("l1", "l2"):
+            self._send(400, {"error": f"unknown version {version!r}; have ['l1', 'l2']"})
+            return
+        options: dict = {"records": records}
+        if payload.get("epochs") is not None:
+            try:
+                options["epochs"] = int(payload["epochs"])
+            except (TypeError, ValueError):
+                self._send(400, {"error": "'epochs' must be an integer"})
+                return
+            if options["epochs"] < 1:
+                self._send(400, {"error": "'epochs' must be >= 1"})
+                return
+        job = self.frontend.update_submit(version, options)
+        self._send(202, {"id": job.id, "status": job.status, "version": version})
 
 
 def make_server(

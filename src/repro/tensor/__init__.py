@@ -12,7 +12,7 @@ Design notes (follows the hpc-parallel guides):
 * every op is vectorised NumPy — no Python-level element loops;
 * backward functions close over *views* where safe and only copy when
   the gradient actually needs materialising;
-* float32 throughout by default; :mod:`repro.finetune.fp16` simulates the
+* float32 throughout by default; :mod:`repro.train.fp16` simulates the
   paper's fp16 training by casting parameters on the forward path.
 """
 
@@ -22,6 +22,7 @@ from repro.tensor.ops import (
     cross_entropy_logits,
     dropout,
     embedding,
+    fused_cross_entropy,
     gelu,
     log_softmax,
     masked_softmax,
@@ -30,6 +31,7 @@ from repro.tensor.ops import (
     silu,
     softmax,
     stack,
+    take_rows,
     tanh,
     where,
 )
@@ -42,6 +44,7 @@ __all__ = [
     "cross_entropy_logits",
     "dropout",
     "embedding",
+    "fused_cross_entropy",
     "gelu",
     "log_softmax",
     "masked_softmax",
@@ -50,6 +53,7 @@ __all__ = [
     "silu",
     "softmax",
     "stack",
+    "take_rows",
     "tanh",
     "where",
 ]

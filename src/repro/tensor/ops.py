@@ -178,6 +178,86 @@ def cross_entropy_logits(
     return Tensor._op(out_data, (logits,), backward)
 
 
+def fused_cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: int = -100
+) -> Tensor:
+    """Mean token cross-entropy without materialising full log-probs.
+
+    Numerically identical forward to :func:`cross_entropy_logits`
+    (same shift, same summation order), but the only (B*T, vocab)
+    temporary is the exp buffer — reused in place by the backward to
+    produce the softmax gradient — instead of the three full-size
+    arrays (shifted copy, log-probs, probs) the reference kernel
+    allocates.  The logits tensor is the largest activation of a
+    training step, so this halves the loss-node's memory traffic; it is
+    the objective the :class:`repro.train.Trainer` hot loop uses.
+
+    The backward consumes the exp buffer destructively, so it must run
+    at most once (true for every training loop in the repo).
+    """
+    targets = np.asarray(targets)
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    mask = flat_targets != ignore_index
+    count = int(mask.sum())
+    if count == 0:
+        raise ValueError("fused_cross_entropy: all targets are ignore_index")
+
+    m = flat_logits.max(axis=1, keepdims=True)
+    e = flat_logits - m  # the single full-size temporary
+    np.exp(e, out=e)
+    sums = e.sum(axis=1, keepdims=True)
+    rows = np.arange(flat_targets.size)
+    safe_targets = np.where(mask, flat_targets, 0)
+    picked = flat_logits[rows, safe_targets]
+    # -logp[target] = log(sum exp(shifted)) - (logit[target] - max)
+    token_losses = np.log(sums[:, 0]) - (picked - m[:, 0])
+    loss_val = (token_losses * mask).sum() / count
+    out_data = np.asarray(loss_val, dtype=logits.dtype)
+
+    consumed = False
+
+    def backward(g: np.ndarray):
+        # d loss / d logits = (softmax - onehot) * mask / count, scaled
+        # by the upstream scalar.  Reuses ``e`` in place: probs = e/sums.
+        nonlocal e, consumed
+        if consumed:
+            raise RuntimeError(
+                "fused_cross_entropy backward ran twice: its exp buffer "
+                "is consumed destructively; use cross_entropy_logits for "
+                "graphs that traverse the loss node more than once"
+            )
+        consumed = True
+        e /= sums
+        e[rows, safe_targets] -= 1.0
+        e *= (mask / count)[:, None]
+        e *= float(g)
+        return [(logits, e.reshape(logits.shape).astype(logits.dtype, copy=False))]
+
+    return Tensor._op(out_data, (logits,), backward)
+
+
+def take_rows(x: Tensor, idx: np.ndarray) -> Tensor:
+    """Gather rows ``x[idx]`` for *unique* indices.
+
+    ``Tensor.__getitem__`` with an integer array must scatter its
+    backward through ``np.add.at`` (indices may repeat), which is the
+    slow ufunc path.  When the caller guarantees uniqueness — e.g. the
+    supervised-position gather in the training engine, whose indices
+    come from ``np.nonzero`` — plain ``grad[idx] += g`` is correct and
+    orders of magnitude faster.
+    """
+    idx = np.asarray(idx)
+    out_data = x.data[idx]
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(x.data)
+        grad[idx] += g
+        return [(x, grad)]
+
+    return Tensor._op(np.ascontiguousarray(out_data), (x,), backward)
+
+
 def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
     """Row lookup ``weight[ids]`` with scatter-add backward."""
     ids = np.asarray(ids)

@@ -13,7 +13,7 @@ class TestParser:
         parser = build_parser()
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
-            "build", "ask", "detect", "scan", "eval", "serve", "export",
+            "build", "train", "ask", "detect", "scan", "eval", "serve", "export",
         }
 
     def test_requires_command(self):
@@ -36,6 +36,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["detect", "k.c", "--language", "rust"])
         assert "unknown language" in capsys.readouterr().err
+
+    def test_train_stage_mismatched_flags_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["train", "--stage", "sft", "--steps", "50"]) == 2
+        assert "--steps" in capsys.readouterr().err
+        assert main(["train", "--stage", "pretrain", "--epochs", "3"]) == 2
+        assert "--epochs" in capsys.readouterr().err
+        assert main(["train", "--checkpoint-every", "5"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_train_bad_warmup_clean_error(self, capsys):
+        from repro.cli import main
+
+        rc = main(["train", "--preset", "small", "--steps", "10",
+                   "--schedule", "warmup-cosine", "--warmup-steps", "20"])
+        assert rc == 2
+        assert "warmup_steps" in capsys.readouterr().err
+
+    def test_train_warmup_without_schedule_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["train", "--warmup-steps", "5"]) == 2
+        assert "--schedule warmup-cosine" in capsys.readouterr().err
+
+    def test_train_bad_resume_file_clean_error(self, capsys, tmp_path):
+        from repro.cli import main
+
+        missing = str(tmp_path / "nope.npz")
+        rc = main(["train", "--preset", "small", "--steps", "5",
+                   "--resume-from", missing])
+        assert rc == 2
+        assert "cannot resume" in capsys.readouterr().err
 
     def test_scan_args(self):
         args = build_parser().parse_args(

@@ -56,3 +56,58 @@ class TestRegistry:
         reg2 = ModelRegistry(TINY, FAST, extra_tokenizer_texts=["#pragma omp parallel"],
                              cache_dir=tmp_path)
         assert reg1._cache_key("x") != reg2._cache_key("x")
+
+
+class TestCacheKeyCoversFullConfig:
+    """Regression: the key used to omit lr/seq_len (and the per-recipe
+    corpus_scale/seed), so changing them silently served stale
+    checkpoints."""
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("lr", 9e-3),
+            ("seq_len", 24),
+            ("batch_size", 8),
+            ("steps", 16),
+            ("n_sentences", 121),
+            ("corpus_scale", 1.7),
+            ("seed", 99),
+            ("schedule", "cosine"),
+        ],
+    )
+    def test_every_pretrain_field_changes_key(self, field, value):
+        import dataclasses
+
+        base = ModelRegistry(TINY, FAST, cache_dir=None)
+        changed = ModelRegistry(
+            TINY, dataclasses.replace(FAST, **{field: value}), cache_dir=None
+        )
+        assert base._cache_key("llama-13b-sim") != changed._cache_key("llama-13b-sim")
+
+    def test_model_fields_change_key(self):
+        import dataclasses
+
+        base = ModelRegistry(TINY, FAST, cache_dir=None)
+        for field, value in (("hidden_dim", 40), ("max_seq_len", 96),
+                             ("tie_embeddings", False)):
+            changed = ModelRegistry(
+                dataclasses.replace(TINY, **{field: value}), FAST, cache_dir=None
+            )
+            assert base._cache_key("llama-13b-sim") != changed._cache_key("llama-13b-sim")
+
+    def test_recipes_produce_distinct_keys(self):
+        reg = ModelRegistry(TINY, FAST, cache_dir=None)
+        assert reg._cache_key("llama-13b-sim") != reg._cache_key("llama2-13b-sim")
+
+    def test_changed_lr_actually_retrains(self, tmp_path):
+        import dataclasses
+
+        reg1 = ModelRegistry(TINY, FAST, cache_dir=tmp_path)
+        m1 = reg1.base_model("llama-13b-sim")
+        reg2 = ModelRegistry(
+            TINY, dataclasses.replace(FAST, lr=FAST.lr * 4), cache_dir=tmp_path
+        )
+        m2 = reg2.base_model("llama-13b-sim")
+        # With the old key this loaded m1's checkpoint verbatim.
+        assert not np.allclose(m1.tok_emb.weight.data, m2.tok_emb.weight.data)

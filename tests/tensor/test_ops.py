@@ -9,6 +9,7 @@ from repro.tensor import (
     cross_entropy_logits,
     dropout,
     embedding,
+    fused_cross_entropy,
     gelu,
     log_softmax,
     relu,
@@ -16,6 +17,7 @@ from repro.tensor import (
     silu,
     softmax,
     stack,
+    take_rows,
     tanh,
     where,
 )
@@ -124,6 +126,84 @@ class TestCrossEntropy:
         loss = cross_entropy_logits(logits, targets)
         loss.backward()
         assert logits.grad.shape == (2, 3, 5)
+
+
+class TestFusedCrossEntropy:
+    """The Trainer's objective must agree with the reference kernel."""
+
+    def test_forward_identical_to_reference(self):
+        logits = randn(6, 9)
+        targets = np.array([0, 3, 8, 2, 5, 1])
+        ref = cross_entropy_logits(Tensor(logits.copy()), targets).item()
+        fused = fused_cross_entropy(Tensor(logits.copy()), targets).item()
+        # Same shift and summation order: bit-identical, not just close.
+        assert fused == ref
+
+    def test_grad_matches_reference(self):
+        logits = randn(4, 3, 7)
+        targets = RNG.integers(0, 7, size=(4, 3))
+        targets[0, :2] = -100
+        a = Tensor(logits.copy(), requires_grad=True)
+        b = Tensor(logits.copy(), requires_grad=True)
+        cross_entropy_logits(a, targets).backward()
+        fused_cross_entropy(b, targets).backward()
+        np.testing.assert_allclose(a.grad, b.grad, atol=1e-7)
+
+    def test_grad_matches_numeric(self):
+        targets = np.array([1, 0, 2])
+        check_grads(lambda a: fused_cross_entropy(a, targets), [randn(3, 4)])
+
+    def test_ignore_index_masks_grad(self):
+        logits = Tensor(randn(4, 6), requires_grad=True)
+        targets = np.array([1, -100, 2, -100])
+        fused_cross_entropy(logits, targets).backward()
+        assert np.allclose(logits.grad[1], 0.0)
+        assert np.allclose(logits.grad[3], 0.0)
+        assert not np.allclose(logits.grad[0], 0.0)
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            fused_cross_entropy(Tensor(randn(2, 3)), np.array([-100, -100]))
+
+    def test_double_backward_rejected(self):
+        # The fused backward consumes its exp buffer; a second traversal
+        # must fail loudly rather than return corrupt gradients.
+        logits = Tensor(randn(3, 5), requires_grad=True)
+        loss = fused_cross_entropy(logits, np.array([0, 1, 2]))
+        loss.backward()
+        with pytest.raises(RuntimeError, match="twice"):
+            loss.backward()
+
+    def test_backward_scales_by_upstream(self):
+        logits = randn(3, 5)
+        targets = np.array([0, 1, 2])
+        a = Tensor(logits.copy(), requires_grad=True)
+        b = Tensor(logits.copy(), requires_grad=True)
+        fused_cross_entropy(a, targets).backward()
+        fused_cross_entropy(b, targets).backward(np.asarray(8.0, dtype=np.float32))
+        np.testing.assert_allclose(b.grad, 8.0 * a.grad, rtol=1e-6)
+
+
+class TestTakeRows:
+    """Unique-index row gather (the supervised-position fast path)."""
+
+    def test_forward_matches_getitem(self):
+        x = randn(8, 5)
+        idx = np.array([1, 4, 6])
+        np.testing.assert_array_equal(take_rows(Tensor(x), idx).numpy(), x[idx])
+
+    def test_grad_matches_getitem_backward(self):
+        x = randn(8, 5)
+        idx = np.array([0, 3, 7])
+        a = Tensor(x.copy(), requires_grad=True)
+        b = Tensor(x.copy(), requires_grad=True)
+        (take_rows(a, idx) * 2.0).sum().backward()
+        (b[idx] * 2.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, b.grad)
+
+    def test_grad_matches_numeric(self):
+        idx = np.array([2, 0, 5])
+        check_grads(lambda a: (take_rows(a, idx) ** 2).sum(), [randn(6, 3)])
 
 
 class TestEmbeddingNormEtc:
