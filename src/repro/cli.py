@@ -6,7 +6,9 @@ Commands
 ``train``    run the unified training engine (pretrain or SFT stage)
              with mid-run checkpoints, ``--resume-from``, and a loss
              curve JSON artifact
-``ask``      answer a Task-1 question
+``ask``      answer a Task-1 question (``--retrieval`` grounds it in
+             the §5 retrieval index with an LM fallback)
+``index``    build/extend the persistent retrieval index (ingest files)
 ``detect``   classify a kernel file (or stdin) for data races
 ``scan``     scan a whole source tree for data races (JSON/SARIF reports)
 ``eval``     run the Table-5 evaluation and print both blocks
@@ -193,9 +195,43 @@ def _build_stage_trainer(args):
 
 
 def cmd_ask(args) -> int:
-    """Answer a Task-1 question with the fine-tuned model."""
+    """Answer a Task-1 question with the fine-tuned model (optionally
+    grounded in the retrieval index)."""
     system = _make_system(args.preset)
-    print(system.answer(args.question, version=args.version))
+    if args.retrieval:
+        print(system.answer_with_retrieval(args.question, version=args.version))
+    else:
+        print(system.answer(args.question, version=args.version))
+    return 0
+
+
+def cmd_index(args) -> int:
+    """Build (or reload) the persistent retrieval index, optionally
+    ingesting extra documents from text files."""
+    system = _make_system(args.preset)
+    rag = system.retrieval_answerer(rebuild=args.rebuild)
+    print(f"retrieval index ready: {len(rag.store)} chunks "
+          f"(dim {rag.store.embedder.dim}, fingerprint {rag.store.fingerprint()})")
+    if args.add:
+        docs = []
+        for name in args.add:
+            path = Path(name)
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                print(f"error: cannot read {name!r}: {exc}", file=sys.stderr)
+                return 2
+            docs.append({"text": text, "source": path.name})
+        try:
+            stats = system.index_documents(docs, max_tokens=args.max_tokens)
+        except ValueError as exc:  # e.g. a whitespace-only file
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"ingested {stats['documents']} documents -> {stats['chunks']} chunks "
+              f"({stats['added']} new; index now {stats['index_size']})")
+    if args.out:
+        rag.store.save(args.out)
+        print(f"wrote index snapshot to {args.out}")
     return 0
 
 
@@ -323,7 +359,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preset_arg(p)
     p.add_argument("question")
     p.add_argument("--version", choices=["l1", "l2"], default="l2")
+    p.add_argument("--retrieval", action="store_true",
+                   help="ground the answer in the retrieval index "
+                        "(hybrid §5 path; falls back to the LM)")
     p.set_defaults(func=cmd_ask)
+
+    p = sub.add_parser("index", help="build/extend the retrieval index (§5)")
+    _add_preset_arg(p)
+    p.add_argument("--add", action="append", metavar="FILE",
+                   help="ingest a text file into the index (repeatable)")
+    p.add_argument("--max-tokens", type=int, default=128,
+                   help="chunking token budget for ingested files (default 128)")
+    p.add_argument("--rebuild", action="store_true",
+                   help="ignore any persisted index and rebuild from the "
+                        "knowledge base")
+    p.add_argument("--out", metavar="PATH",
+                   help="also write an index snapshot (npz) here")
+    p.set_defaults(func=cmd_index)
 
     p = sub.add_parser("detect", help="data-race detection on a kernel file")
     _add_preset_arg(p)

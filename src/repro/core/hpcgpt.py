@@ -113,6 +113,10 @@ class HPCGPTSystem:
         self._thresholds: dict[str, float] = {}
         self._knowledge = None
         self._ontology: HPCOntology | None = None
+        self._retrieval = None  # cached RetrievalAugmentedAnswerer singleton
+        # Serialises retrieval build/ingest/search: ingestion mutates the
+        # index matrix that concurrent searches read.
+        self._retrieval_lock = threading.RLock()
         self.cache_dir = default_cache_dir() if self.config.use_cache else None
         # Serialises lazy builds (pretrain/SFT/cache writes): the HTTP
         # server is threaded, and two concurrent first requests must not
@@ -348,18 +352,168 @@ class HPCGPTSystem:
                 )
         return stats
 
-    def retrieval_answerer(self, extra_chunks=None, k: int = 3):
-        """§5's LangChain-style strategy: build a vector store over the
-        current knowledge base (plus ``extra_chunks`` of *new* data) and
-        return a retrieval-augmented answerer — new facts become
-        answerable without any retraining."""
-        from repro.retrieval import RetrievalAugmentedAnswerer, TfidfEmbedder, VectorStore
+    # -- §5: the retrieval subsystem ---------------------------------------------------
 
-        chunks = list(self.knowledge_base) + list(extra_chunks or [])
+    def _retrieval_index_path(self) -> Path | None:
+        """Where the persistent index lives (``None`` disables it).
+        Keyed by the config cache key so knowledge-base parameter
+        changes name a fresh file; the file's own tokenizer+IDF
+        fingerprint catches everything else."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"retrieval-index-{self.config.cache_key()}.npz"
+
+    def retrieval_answerer(self, extra_chunks=None, k: int | None = None,
+                           rebuild: bool = False):
+        """§5's LangChain-style strategy, as a cached singleton: the
+        vector store over the knowledge base is built (or reloaded from
+        the persistent index) once per process, and ``extra_chunks`` of
+        *new* data are **appended** to the live index — new facts become
+        answerable without retraining *and* without re-embedding
+        everything already indexed.
+
+        ``k`` is sticky: passing it re-tunes the shared answerer, while
+        the default leaves a previous caller's choice in place (internal
+        calls never reset it)."""
+        from repro.retrieval import RetrievalAugmentedAnswerer
+
+        with self._retrieval_lock:
+            if rebuild:
+                self._retrieval = None
+            if self._retrieval is None:
+                store = self._build_retrieval_store(rebuild=rebuild)
+                self._retrieval = RetrievalAugmentedAnswerer(store, k=k or 3)
+            rag = self._retrieval
+            if k is not None:
+                rag.k = k
+            if extra_chunks:
+                extra_chunks = list(extra_chunks)
+                self._retrieval_extend(
+                    [c.text for c in extra_chunks],
+                    [{"facts": dict(getattr(c, "facts", {}) or {})} for c in extra_chunks],
+                )
+            return rag
+
+    def _build_retrieval_store(self, rebuild: bool = False):
+        """Load the persisted index if it is fresh, else embed the
+        knowledge base from scratch (and persist the result)."""
+        from repro.retrieval import StaleIndexError, TfidfEmbedder, VectorStore
+
+        path = self._retrieval_index_path()
+        if path is not None and path.exists() and not rebuild:
+            try:
+                return VectorStore.load(path, self.tokenizer)
+            except (StaleIndexError, OSError, KeyError, ValueError):
+                pass  # stale or corrupt: fall through to a rebuild
+        chunks = list(self.knowledge_base)
         embedder = TfidfEmbedder(self.tokenizer).fit([c.text for c in chunks])
         store = VectorStore(embedder)
         store.add([c.text for c in chunks], [{"facts": c.facts} for c in chunks])
-        return RetrievalAugmentedAnswerer(store, k=k)
+        if path is not None:
+            store.save(path)
+        return store
+
+    def _retrieval_extend(self, texts: list[str], metadata: list[dict]) -> int:
+        """Append new chunks to the live index (deduplicated by exact
+        text, so re-posting the same document is idempotent), persisting
+        the updated index.  Returns how many chunks were actually new."""
+        store = self._retrieval.store
+        seen = {t for t, _ in store.all()}
+        fresh_texts: list[str] = []
+        fresh_meta: list[dict] = []
+        for text, meta in zip(texts, metadata):
+            if not text.strip() or text in seen:
+                continue
+            seen.add(text)
+            fresh_texts.append(text)
+            fresh_meta.append(meta)
+        if fresh_texts:
+            store.add(fresh_texts, fresh_meta)
+            path = self._retrieval_index_path()
+            if path is not None:
+                store.save(path)
+        return len(fresh_texts)
+
+    def index_documents(self, documents, max_tokens: int = 128) -> dict:
+        """The knowledge-ingestion operation behind ``POST /api/knowledge``:
+        split each document into chunks, embed, and append them to the
+        persistent index.  ``documents`` items may be raw strings,
+        ``{"text", "source", "facts"}`` dicts, or ``KnowledgeChunk``-like
+        objects.  Returns ingestion stats (chunks deduplicate by exact
+        text, so ``added`` can be less than ``chunks``)."""
+        from repro.retrieval import split_into_chunks
+
+        documents = list(documents)
+        texts: list[str] = []
+        metas: list[dict] = []
+        for doc in documents:
+            if isinstance(doc, str):
+                doc = {"text": doc}
+            elif hasattr(doc, "text"):  # KnowledgeChunk and friends
+                doc = {
+                    "text": doc.text,
+                    "source": getattr(doc, "source", ""),
+                    "facts": dict(getattr(doc, "facts", {}) or {}),
+                }
+            text = str(doc.get("text", "")).strip()
+            if not text:
+                source = doc.get("source")
+                raise ValueError(
+                    "document with empty 'text'"
+                    + (f" (source {source!r})" if source else "")
+                )
+            meta: dict = {"facts": dict(doc.get("facts") or {})}
+            if doc.get("source"):
+                meta["source"] = str(doc["source"])
+            pieces = split_into_chunks(text, self.tokenizer, max_tokens=max_tokens)
+            texts.extend(pieces)
+            metas.extend(dict(meta) for _ in pieces)
+        with self._retrieval_lock:
+            rag = self.retrieval_answerer()
+            added = self._retrieval_extend(texts, metas)
+            return {
+                "documents": len(documents),
+                "chunks": len(texts),
+                "added": added,
+                "index_size": len(rag.store),
+            }
+
+    def retrieval_stats(self) -> dict:
+        """Index metadata for ``GET /api/knowledge``."""
+        with self._retrieval_lock:
+            store = self.retrieval_answerer().store
+            return {
+                "chunks": len(store),
+                "dim": store.embedder.dim,
+                "fingerprint": store.fingerprint(),
+            }
+
+    def answer_with_retrieval(self, question: str, version: str = "l2") -> str:
+        """Hybrid §5 answering: ground the question in the retrieval
+        index first; fall back to the fine-tuned LM when retrieval has
+        nothing to say."""
+        return self.answer_retrieval_batch([question], version=version)[0]
+
+    def answer_retrieval_batch(
+        self, questions: list[str], version: str = "l2", max_new_tokens: int = 40
+    ) -> list[str]:
+        """Batched hybrid answering: all questions run through one
+        batched index search; only the questions retrieval cannot answer
+        decode through the LM (also batched)."""
+        questions = list(questions)
+        with self._retrieval_lock:
+            rag = self.retrieval_answerer()
+            answers = rag.answer_batch(questions)
+        missing = [i for i, a in enumerate(answers) if a is None]
+        if missing:
+            lm_answers = self.answer_batch(
+                [questions[i] for i in missing],
+                version=version,
+                max_new_tokens=max_new_tokens,
+            )
+            for i, out in zip(missing, lm_answers):
+                answers[i] = out
+        return answers
 
     # -- detector construction for Table 5 --------------------------------------------
 

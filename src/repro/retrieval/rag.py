@@ -37,12 +37,23 @@ _FIELD_SYNONYMS = {
     "language": "Language",
 }
 
-_KV_RE = re.compile(r"([A-Z][\w ()-]*?):\s*([^.]+)\.")
+# A "Key: value." pair.  The value runs to the *sentence* end: a period
+# terminates it only when followed by whitespace + a capital (the next
+# sentence) or by end-of-chunk — so versioned values ("PyTorch 1.7.1",
+# "MLPerf v0.7", "Release 23.04") survive intact instead of truncating
+# at their first internal period.
+_KV_RE = re.compile(r"([A-Z][\w ()-]*?):\s*(.+?)(?:\.(?=\s+[A-Z]|\s*$)|$)")
 
 
 def split_into_chunks(text: str, tokenizer, max_tokens: int = 128) -> list[str]:
     """§5: "division of text into chunks" — sentence-boundary packing
-    under a token budget."""
+    under a token budget.
+
+    A single sentence longer than ``max_tokens`` cannot be packed; it is
+    emitted immediately as its own (oversized) chunk so its token cost
+    never bleeds into the budget accounting of the sentences around it.
+    Every other chunk stays within ``max_tokens``.
+    """
     sentences = re.split(r"(?<=[.!?])\s+", text.strip())
     chunks: list[str] = []
     current: list[str] = []
@@ -51,6 +62,12 @@ def split_into_chunks(text: str, tokenizer, max_tokens: int = 128) -> list[str]:
         if not sent:
             continue
         cost = tokenizer.token_count(sent)
+        if cost > max_tokens:
+            if current:
+                chunks.append(" ".join(current))
+                current, used = [], 0
+            chunks.append(sent)
+            continue
         if current and used + cost > max_tokens:
             chunks.append(" ".join(current))
             current, used = [], 0
@@ -68,6 +85,9 @@ class RetrievalAugmentedAnswerer:
     def __init__(self, store: VectorStore, k: int = 3) -> None:
         self.store = store
         self.k = k
+        # Parsed chunk fields, keyed on the store's mutation counter so
+        # the lexical-anchor pass re-parses only when the index grows.
+        self._fields_cache: tuple[int | None, list[tuple[str, dict]]] | None = None
 
     # -- extraction --------------------------------------------------------
 
@@ -91,15 +111,43 @@ class RetrievalAugmentedAnswerer:
             fields.setdefault(key.strip(), value.strip())
         return fields
 
+    def _store_fields(self) -> list[tuple[str, dict]]:
+        """``(text, parsed fields)`` for every indexed chunk, cached per
+        store version (re-parsing the whole store per question would
+        dominate batched answering)."""
+        version = getattr(self.store, "version", None)
+        if self._fields_cache is None or self._fields_cache[0] != version:
+            parsed = [
+                (text, self._chunk_fields(text, metadata))
+                for text, metadata in self.store.all()
+            ]
+            self._fields_cache = (version, parsed)
+        return self._fields_cache[1]
+
     def answer(self, question: str) -> str | None:
-        """The §5 loop: embed -> match -> extract from the best chunk.
+        """The §5 loop: embed -> match -> extract from the best chunk."""
+        return self.answer_batch([question])[0]
+
+    def answer_batch(self, questions: list[str]) -> list[str | None]:
+        """Answer every question in one batched hybrid search pass.
 
         Cosine ranking alone confuses rows that share sub-tokens (every
         MLPerf system name contains the vendor and accelerator), so a
         first pass prefers hits *anchored* by a fact value that appears
-        verbatim in the question (e.g. the exact system name).
+        verbatim in the question (e.g. the exact system name).  All
+        embeddings and the index scoring run as one matmul via
+        :meth:`VectorStore.search_batch`.
         """
-        hits = self.store.search(question, k=max(self.k, 8))
+        questions = list(questions)
+        if not questions:
+            return []
+        hits_per_q = self.store.search_batch(questions, k=max(self.k, 8))
+        return [
+            self._answer_from_hits(q, hits)
+            for q, hits in zip(questions, hits_per_q)
+        ]
+
+    def _answer_from_hits(self, question: str, hits: list[Hit]) -> str | None:
         if not hits:
             return None
         field = self._wanted_field(question)
@@ -115,8 +163,7 @@ class RetrievalAugmentedAnswerer:
             # retrieval trick.
             best_value: str | None = None
             best_anchor = 0
-            for text, metadata in self.store.all():
-                fields = self._chunk_fields(text, metadata)
+            for _text, fields in self._store_fields():
                 if field not in fields:
                     continue
                 anchor = sum(

@@ -1,0 +1,76 @@
+"""Minimal CSR (compressed sparse row) batch of vectors.
+
+TF-IDF embeddings over a few-hundred-token vocabulary are ~97% zeros:
+a chunk touches a few dozen token ids out of the whole vocabulary.
+Materialising them densely (the seed behaviour) costs O(vocab) memory
+and compute per text; the CSR form — parallel ``indptr`` / ``indices``
+/ ``values`` arrays — costs O(nnz) and keeps both embedding and scoring
+fully vectorised.
+
+scipy.sparse is deliberately not used: the hot paths need exactly two
+operations (scatter to dense, and sparse × dense scoring over only the
+columns a batch actually touches), and owning the three arrays keeps
+persistence and fingerprinting trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRRows:
+    """A batch of sparse row vectors in CSR form.
+
+    ``indices[indptr[i]:indptr[i+1]]`` holds row ``i``'s column ids
+    (sorted, unique within the row); ``values`` aligns with ``indices``.
+    Rows with no entries are valid (empty texts embed to zero vectors).
+    """
+
+    indptr: np.ndarray  # (n_rows + 1,) int64, monotone
+    indices: np.ndarray  # (nnz,) int64 column ids
+    values: np.ndarray  # (nnz,) float64
+    n_cols: int
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row ``i``'s (indices, values) pair (views, not copies)."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        """Scatter to a dense ``(n_rows, n_cols)`` float64 matrix."""
+        out = np.zeros((self.n_rows, self.n_cols), dtype=np.float64)
+        if self.nnz:
+            rows = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+            out[rows, self.indices] = self.values
+        return out
+
+    def matmul_dense(self, dense: np.ndarray) -> np.ndarray:
+        """``self @ dense.T`` for ``dense`` of shape ``(m, n_cols)``.
+
+        Only the columns this batch actually uses are gathered from
+        ``dense``, so the matmul runs over ``(n_rows, n_used)`` ×
+        ``(n_used, m)`` instead of the full column space — the
+        sparse-matrix × dense-query scoring path.  Returns a dense
+        ``(n_rows, m)`` score matrix.
+        """
+        if dense.ndim != 2 or dense.shape[1] != self.n_cols:
+            raise ValueError(
+                f"dense operand must be (m, {self.n_cols}), got {dense.shape}"
+            )
+        cols = np.unique(self.indices)  # sorted
+        packed = np.zeros((self.n_rows, len(cols)), dtype=np.float64)
+        if self.nnz:
+            rows = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+            packed[rows, np.searchsorted(cols, self.indices)] = self.values
+        return packed @ dense[:, cols].T

@@ -1,12 +1,43 @@
-"""Semantic vector store with cosine retrieval."""
+"""Semantic vector store: an incremental, persistent cosine index.
+
+The §5 'integrate new data' operation must stay cheap as the index
+grows, and the index itself must survive restarts:
+
+* **amortised O(1) add** — chunk vectors land in a preallocated matrix
+  that doubles when full (the same growth discipline as the inference
+  engine's KV caches), instead of re-``vstack``-ing the whole matrix
+  per call (the seed's O(n²) behaviour);
+* **batched search** — ``search_batch`` embeds all queries sparsely and
+  scores them against the index in one sparse × dense matmul over only
+  the token columns the queries touch;
+* **deterministic ranking** — stable sort on equal scores (index order),
+  and ``k <= 0`` returns no hits instead of crashing ``argpartition``;
+* **atomic persistence** — ``save``/``load`` round-trip the exact
+  matrix and IDF bytes through :func:`repro.nn.serialization.atomic_savez`.
+  A stale index — written under a retrained tokenizer, an unknown
+  format, or corrupted — raises :class:`StaleIndexError` instead of
+  silently serving wrong neighbours.  (Knowledge-base *content* changes
+  are keyed outside the file: the system names index files by its
+  config cache key + ``DATA_VERSION``, the same discipline model
+  checkpoints use, so a changed corpus lands in a different file.)
+"""
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.retrieval.embedding import TfidfEmbedder
+from repro.retrieval.embedding import TfidfEmbedder, tokenizer_fingerprint
+
+#: Bump when the on-disk layout changes; old files then self-invalidate.
+INDEX_FORMAT_VERSION = 1
+
+
+class StaleIndexError(RuntimeError):
+    """A persisted index no longer matches the live tokenizer/IDF."""
 
 
 @dataclass(frozen=True)
@@ -22,7 +53,7 @@ class VectorStore:
     """Embeds and indexes text chunks; retrieves by cosine similarity.
 
     Vectors are L2-normalised by the embedder, so cosine similarity is a
-    single matrix-vector product over the (contiguous) matrix — the
+    single matrix product over the (contiguous) index matrix — the
     vectorised hot path.
     """
 
@@ -33,9 +64,33 @@ class VectorStore:
         self._texts: list[str] = []
         self._metadata: list[dict] = []
         self._matrix = np.zeros((0, embedder.dim), dtype=np.float64)
+        self._n = 0
+        #: Bumped on every mutation; consumers (e.g. the RAG answerer's
+        #: parsed-fields cache) key derived state on it.
+        self.version = 0
 
     def __len__(self) -> int:
-        return len(self._texts)
+        return self._n
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The live ``(len(self), dim)`` slice of the growable buffer."""
+        return self._matrix[: self._n]
+
+    @property
+    def capacity(self) -> int:
+        return len(self._matrix)
+
+    def _reserve(self, extra: int) -> None:
+        """Ensure room for ``extra`` more rows (geometric doubling, so a
+        sequence of adds copies each row O(1) times amortised)."""
+        need = self._n + extra
+        if need <= self.capacity:
+            return
+        new_cap = max(need, 2 * self.capacity, 16)
+        grown = np.zeros((new_cap, self.embedder.dim), dtype=np.float64)
+        grown[: self._n] = self._matrix[: self._n]
+        self._matrix = grown
 
     def add(self, texts: list[str], metadata: list[dict] | None = None) -> None:
         """Index new chunks (the §5 'integrate new data' operation)."""
@@ -45,24 +100,127 @@ class VectorStore:
         if len(metadata) != len(texts):
             raise ValueError("metadata length mismatch")
         vecs = self.embedder.embed_batch(texts)
-        self._matrix = np.vstack([self._matrix, vecs])
+        self._reserve(len(texts))
+        self._matrix[self._n : self._n + len(texts)] = vecs
+        self._n += len(texts)
         self._texts.extend(texts)
         self._metadata.extend(metadata)
+        self.version += 1
 
     def all(self) -> list[tuple[str, dict]]:
         """Every indexed (text, metadata) pair — used by lexical anchor
         scans in hybrid retrieval."""
         return list(zip(self._texts, self._metadata))
 
+    # -- search ------------------------------------------------------------
+
+    def _top_k(self, scores: np.ndarray, k: int) -> np.ndarray:
+        """Row-wise top-``k`` indices with deterministic tie-breaking:
+        equal scores rank in stable index order.
+
+        Selection is a vectorised ``argpartition`` (O(n) per row, not a
+        full sort).  ``argpartition`` picks arbitrary members of a score
+        tie that straddles the k-th place, so rows with such boundary
+        ties are re-ranked over the full tie pool — rare in practice,
+        and the result is then independent of partition order.
+        """
+        n_q, n = scores.shape
+        if k >= n:
+            return np.argsort(-scores, axis=1, kind="stable")[:, :k]
+        # Index-sorting the candidates first makes the stable score sort
+        # break exact ties inside the top-k by index order.
+        cand = np.sort(np.argpartition(-scores, k - 1, axis=1)[:, :k], axis=1)
+        rows = np.arange(n_q)[:, None]
+        cand_scores = scores[rows, cand]
+        order = np.argsort(-cand_scores, axis=1, kind="stable")
+        top = np.take_along_axis(cand, order, axis=1)
+        kth = cand_scores.min(axis=1)
+        boundary_ties = np.nonzero((scores >= kth[:, None]).sum(axis=1) > k)[0]
+        for i in boundary_ties:
+            pool = np.nonzero(scores[i] >= kth[i])[0]  # index-ascending
+            pool = pool[np.argsort(-scores[i][pool], kind="stable")]
+            top[i] = pool[:k]
+        return top
+
     def search(self, query: str, k: int = 3) -> list[Hit]:
-        """Top-``k`` chunks by cosine similarity to the query."""
-        if not self._texts:
-            return []
-        q = self.embedder.embed(query)
-        scores = self._matrix @ q
-        k = min(k, len(self._texts))
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top])]
+        """Top-``k`` chunks by cosine similarity (``[]`` for ``k <= 0``)."""
+        return self.search_batch([query], k=k)[0]
+
+    def search_batch(self, queries: list[str], k: int = 3) -> list[list[Hit]]:
+        """Top-``k`` hits for *every* query in one scoring pass.
+
+        All queries embed in one vectorised pass and score against the
+        index in a single sparse × dense matmul — the batched hot path
+        serving and evaluation fan into.
+        """
+        queries = list(queries)
+        if k <= 0 or self._n == 0 or not queries:
+            return [[] for _ in queries]
+        csr = self.embedder.embed_batch_sparse(queries)
+        scores = csr.matmul_dense(self.matrix)  # (n_queries, n_chunks)
+        top = self._top_k(scores, min(k, self._n))
         return [
-            Hit(self._texts[i], float(scores[i]), self._metadata[i]) for i in top
+            [Hit(self._texts[i], float(row_scores[i]), self._metadata[i]) for i in row]
+            for row, row_scores in zip(top, scores)
         ]
+
+    # -- persistence -------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The embedder fingerprint a persisted copy is keyed by."""
+        return self.embedder.fingerprint()
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Atomically persist the index (exact matrix + IDF bytes, so a
+        reload returns bit-identical search results)."""
+        from repro.nn.serialization import atomic_savez
+
+        atomic_savez(
+            path,
+            format_version=np.asarray(INDEX_FORMAT_VERSION, dtype=np.int64),
+            fingerprint=np.asarray(self.fingerprint()),
+            tokenizer_fp=np.asarray(tokenizer_fingerprint(self.embedder.tokenizer)),
+            idf=self.embedder.idf,
+            matrix=np.ascontiguousarray(self.matrix),
+            texts_json=np.asarray(json.dumps(self._texts)),
+            metadata_json=np.asarray(json.dumps(self._metadata)),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, tokenizer) -> "VectorStore":
+        """Reload a persisted index against ``tokenizer``.
+
+        Raises :class:`StaleIndexError` when the file was written under
+        a different tokenizer (or on-disk format) — the caller should
+        rebuild from source data rather than serve stale neighbours.
+        """
+        with np.load(path, allow_pickle=False) as npz:
+            if "format_version" not in npz.files or int(npz["format_version"]) != INDEX_FORMAT_VERSION:
+                raise StaleIndexError(f"unrecognised index format in {path}")
+            if str(npz["tokenizer_fp"][()]) != tokenizer_fingerprint(tokenizer):
+                raise StaleIndexError(
+                    f"index at {path} was built under a different tokenizer"
+                )
+            idf = npz["idf"]
+            matrix = np.ascontiguousarray(npz["matrix"], dtype=np.float64)
+            texts = json.loads(str(npz["texts_json"][()]))
+            metadata = json.loads(str(npz["metadata_json"][()]))
+            stored_fp = str(npz["fingerprint"][()])
+        try:
+            embedder = TfidfEmbedder.from_idf(tokenizer, idf)
+        except ValueError as exc:  # vocab size drifted
+            raise StaleIndexError(str(exc)) from exc
+        # Integrity check only: the fingerprint is recomputed from the
+        # file's own IDF, so this catches bit-rot/partial writes, not a
+        # changed corpus (that is keyed by the file *name*, see module
+        # docstring).
+        if embedder.fingerprint() != stored_fp:
+            raise StaleIndexError(f"index at {path} fails its fingerprint check")
+        if matrix.shape != (len(texts), embedder.dim) or len(metadata) != len(texts):
+            raise StaleIndexError(f"index at {path} is internally inconsistent")
+        store = cls(embedder)
+        store._texts = list(texts)
+        store._metadata = list(metadata)
+        store._matrix = matrix
+        store._n = len(texts)
+        return store

@@ -27,11 +27,33 @@ class HPCGPTClient:
         with urllib.request.urlopen(self.base_url + "/health", timeout=30) as resp:
             return json.loads(resp.read().decode("utf-8"))
 
-    def answer(self, question: str, version: str = "l2") -> str:
-        return self._post("/api/answer", {"question": question, "version": version})["answer"]
+    def answer(self, question: str, version: str = "l2", retrieval: bool = False) -> str:
+        """Task-1 answer; ``retrieval=True`` grounds it in the server's
+        retrieval index first (hybrid §5 path, LM fallback)."""
+        payload: dict = {"question": question, "version": version}
+        if retrieval:
+            payload["retrieval"] = True
+        return self._post("/api/answer", payload)["answer"]
 
     def detect(self, code: str, language: str = "C/C++") -> str:
         return self._post("/api/detect", {"code": code, "language": language})["data_race"]
+
+    # -- §5 knowledge ingestion --------------------------------------------
+
+    def ingest(self, documents: list, max_tokens: int | None = None) -> dict:
+        """Chunk, embed, and index new documents on the server (strings
+        or ``{"text", "source", "facts"}`` dicts); the posted facts are
+        answerable immediately via ``answer(..., retrieval=True)``.
+        Returns ingestion stats (documents/chunks/added/index_size)."""
+        payload: dict = {"documents": documents}
+        if max_tokens is not None:
+            payload["max_tokens"] = max_tokens
+        return self._post("/api/knowledge", payload)
+
+    def knowledge_stats(self) -> dict:
+        """Retrieval index stats (chunk count, dim, fingerprint)."""
+        with urllib.request.urlopen(self.base_url + "/api/knowledge", timeout=30) as resp:
+            return json.loads(resp.read().decode("utf-8"))
 
     # -- async job polling (scans + updates) -------------------------------
 

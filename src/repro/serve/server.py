@@ -4,8 +4,16 @@ Endpoints (JSON over HTTP, stdlib ``http.server`` — no dependencies):
 
 * ``GET  /``              — a minimal HTML GUI for HPC scientists;
 * ``GET  /health``        — liveness + model metadata;
-* ``POST /api/answer``    — ``{"question": ...}`` -> Task-1 answer;
+* ``POST /api/answer``    — ``{"question": ...}`` -> Task-1 answer; pass
+  ``"retrieval": true`` for the hybrid §5 path (batched index search
+  first, LM fallback);
 * ``POST /api/detect``    — ``{"code": ..., "language": ...}`` -> yes/no;
+* ``POST /api/knowledge`` — ``{"documents": [...]}`` -> §5 knowledge
+  ingestion: each document is chunked, embedded, and appended to the
+  persistent retrieval index (no retraining), so the posted facts are
+  answerable immediately via ``"retrieval": true``;
+* ``GET  /api/knowledge`` — retrieval index stats (chunk count, dim,
+  fingerprint);
 * ``POST /api/scan``      — ``{"path": ...}`` -> queued scan job id
   (long repository scans run on an async job queue, so they never
   block the micro-batcher serving answer/detect traffic);
@@ -41,7 +49,9 @@ _GUI_HTML = """<!doctype html>
 <h1>HPC-GPT</h1>
 <p>Ask an HPC question (Task 1) or paste an OpenMP kernel (Task 2).</p>
 <h2>Ask</h2>
-<form onsubmit="ask(event)"><input id="q" size="80"><button>Ask</button></form>
+<form onsubmit="ask(event)"><input id="q" size="80">
+<label><input type="checkbox" id="rag"> ground in retrieval index</label>
+<button>Ask</button></form>
 <pre id="a"></pre>
 <h2>Detect data race</h2>
 <form onsubmit="detect(event)"><textarea id="code" rows="10" cols="80"></textarea>
@@ -50,7 +60,7 @@ _GUI_HTML = """<!doctype html>
 <pre id="d"></pre>
 <script>
 async function ask(e){e.preventDefault();
- const r=await fetch('/api/answer',{method:'POST',body:JSON.stringify({question:document.getElementById('q').value})});
+ const r=await fetch('/api/answer',{method:'POST',body:JSON.stringify({question:document.getElementById('q').value,retrieval:document.getElementById('rag').checked})});
  document.getElementById('a').textContent=JSON.stringify(await r.json(),null,1);}
 async function detect(e){e.preventDefault();
  const r=await fetch('/api/detect',{method:'POST',body:JSON.stringify({code:document.getElementById('code').value,language:document.getElementById('lang').value})});
@@ -96,30 +106,21 @@ class ServingFrontend:
 
     # -- batch runners (worker threads) --------------------------------------
 
-    def _run_grouped(self, items, batched, single, kwarg: str) -> list:
-        """Dispatch ``(payload, key)`` items: group by key and run one
-        batched call per group, or fall back to per-item calls.
+    def _dispatch_grouped(self, items, run_group) -> list:
+        """Dispatch ``(payload, key)`` items under the system lock:
+        group by key and run ``run_group(payloads, key)`` once per group.
 
-        Failures are isolated per group (and per item on the fallback
-        path): a slot holding an ``Exception`` is raised only for its
-        own caller by :class:`MicroBatcher`, so one bad request cannot
-        poison the rest of its micro-batch."""
+        Failures are isolated per group: a slot holding an ``Exception``
+        is raised only for its own caller by :class:`MicroBatcher`, so
+        one bad request cannot poison the rest of its micro-batch."""
         with self._system_lock:
-            if batched is None:
-                results: list = []
-                for payload, key in items:
-                    try:
-                        results.append(single(payload, **{kwarg: key}))
-                    except Exception as exc:  # noqa: BLE001 - isolate per item
-                        results.append(exc)
-                return results
-            results = [None] * len(items)
-            groups: dict[str, list[int]] = {}
+            results: list = [None] * len(items)
+            groups: dict = {}
             for idx, (_, key) in enumerate(items):
                 groups.setdefault(key, []).append(idx)
             for key, idxs in groups.items():
                 try:
-                    outs = batched([items[i][0] for i in idxs], **{kwarg: key})
+                    outs = run_group([items[i][0] for i in idxs], key)
                     if len(outs) != len(idxs):
                         raise RuntimeError(
                             f"batched call returned {len(outs)} results for {len(idxs)} items"
@@ -130,13 +131,53 @@ class ServingFrontend:
                     results[i] = out
             return results
 
-    def _answer_many(self, items: list[tuple[str, str]]) -> list[str]:
-        return self._run_grouped(
-            items,
-            getattr(self.system, "answer_batch", None),
-            self.system.answer,
-            "version",
+    def _run_grouped(self, items, batched, single, kwarg: str) -> list:
+        """Grouped dispatch through a ``batched(payloads, key=...)``
+        call when the system provides one, else per-item ``single``
+        calls (isolated per item)."""
+
+        def run_group(payloads, key):
+            if batched is not None:
+                return batched(payloads, **{kwarg: key})
+            outs: list = []
+            for payload in payloads:
+                try:
+                    outs.append(single(payload, **{kwarg: key}))
+                except Exception as exc:  # noqa: BLE001 - isolate per item
+                    outs.append(exc)
+            return outs
+
+        return self._dispatch_grouped(items, run_group)
+
+    def _answer_many(self, items: list[tuple[str, tuple[str, bool]]]) -> list:
+        """Answer a micro-batch of ``(question, (version, retrieval))``
+        items: one batched call per (version, retrieval) group."""
+        return self._dispatch_grouped(
+            items, lambda questions, key: self._answer_group(questions, *key)
         )
+
+    def _answer_group(self, questions: list[str], version: str, retrieval: bool) -> list:
+        """One homogeneous answer group: the batched system call when
+        available, else per-item calls with per-item isolation."""
+        if retrieval:
+            batched = getattr(self.system, "answer_retrieval_batch", None)
+            single = getattr(self.system, "answer_with_retrieval", None)
+            if batched is None and single is None:
+                raise RuntimeError(
+                    "system does not support retrieval-augmented answering"
+                )
+        else:
+            batched = getattr(self.system, "answer_batch", None)
+            single = self.system.answer
+        if batched is not None:
+            return batched(questions, version=version)
+        outs: list = []
+        for q in questions:
+            try:
+                outs.append(single(q, version=version))
+            except Exception as exc:  # noqa: BLE001 - isolate per item
+                outs.append(exc)
+        return outs
 
     def _detect_many(self, items: list[tuple[str, str]]) -> list[str]:
         return self._run_grouped(
@@ -148,11 +189,48 @@ class ServingFrontend:
 
     # -- request API (handler threads) ---------------------------------------
 
-    def answer(self, question: str, version: str = "l2") -> str:
-        return self._answer_queue.submit((question, version))
+    def answer(self, question: str, version: str = "l2", retrieval: bool = False) -> str:
+        return self._answer_queue.submit((question, (version, bool(retrieval))))
+
+    def supports_retrieval(self) -> bool:
+        return any(
+            getattr(self.system, name, None) is not None
+            for name in ("answer_retrieval_batch", "answer_with_retrieval")
+        )
 
     def detect(self, code: str, language: str = "C/C++") -> str:
         return self._detect_queue.submit((code, language))
+
+    # -- §5 knowledge ingestion (retrieval index) -----------------------------
+
+    def _call_retrieval(self, fn, *args, **kwargs):
+        """Run a retrieval operation, preferring the system lock but not
+        insisting on it: the system guards all retrieval state with its
+        own lock, so when an update job holds the system lock for a
+        multi-minute retrain, index reads/ingestion proceed instead of
+        timing out (the same liveness pattern as /health)."""
+        if self._system_lock.acquire(timeout=0.05):
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._system_lock.release()
+        return fn(*args, **kwargs)
+
+    def ingest(self, documents: list, max_tokens: int | None = None) -> dict:
+        """Chunk, embed, and index posted documents (the system's
+        retrieval lock serialises this against concurrent
+        retrieval-grounded answers)."""
+        fn = getattr(self.system, "index_documents", None)
+        if fn is None:
+            raise NotImplementedError("system has no retrieval subsystem")
+        kwargs = {} if max_tokens is None else {"max_tokens": int(max_tokens)}
+        return self._call_retrieval(fn, documents, **kwargs)
+
+    def knowledge_stats(self) -> dict:
+        fn = getattr(self.system, "retrieval_stats", None)
+        if fn is None:
+            raise NotImplementedError("system has no retrieval subsystem")
+        return self._call_retrieval(fn)
 
     def finetuned(self, version: str = "l2"):
         if self._system_lock.acquire(timeout=0.05):
@@ -330,6 +408,11 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
                 self._send(404, {"error": f"unknown update job {job_id!r}"})
             else:
                 self._send(200, job.to_dict())
+        elif self.path == "/api/knowledge":
+            try:
+                self._send(200, self.frontend.knowledge_stats())
+            except NotImplementedError as exc:
+                self._send(501, {"error": str(exc)})
         elif self.path == "/health":
             model = self.frontend.finetuned("l2")
             self._send(
@@ -356,8 +439,23 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
                 self._send(400, {"error": "missing 'question'"})
                 return
             version = payload.get("version", "l2")
-            answer = self.frontend.answer(question, version=version)
-            self._send(200, {"question": question, "answer": answer, "version": version})
+            retrieval = bool(payload.get("retrieval", False))
+            if retrieval and not self.frontend.supports_retrieval():
+                self._send(
+                    501,
+                    {"error": "system does not support retrieval-augmented answering"},
+                )
+                return
+            answer = self.frontend.answer(question, version=version, retrieval=retrieval)
+            self._send(
+                200,
+                {
+                    "question": question,
+                    "answer": answer,
+                    "version": version,
+                    "retrieval": retrieval,
+                },
+            )
         elif self.path == "/api/detect":
             code = payload.get("code", "")
             if not code.strip():
@@ -370,12 +468,49 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
                 return
             verdict = self.frontend.detect(code, language=language)
             self._send(200, {"language": language, "data_race": verdict})
+        elif self.path == "/api/knowledge":
+            self._post_knowledge(payload)
         elif self.path == "/api/scan":
             self._post_scan(payload)
         elif self.path == "/api/update":
             self._post_update(payload)
         else:
             self._send(404, {"error": f"unknown path {self.path}"})
+
+    def _post_knowledge(self, payload: dict) -> None:
+        documents = payload.get("documents")
+        if not isinstance(documents, list) or not documents:
+            self._send(400, {"error": "missing 'documents' (non-empty list)"})
+            return
+        for i, doc in enumerate(documents):
+            if isinstance(doc, str):
+                if not doc.strip():
+                    self._send(400, {"error": f"documents[{i}] is empty"})
+                    return
+            elif not isinstance(doc, dict) or not str(doc.get("text", "")).strip():
+                self._send(
+                    400, {"error": f"documents[{i}] needs a non-empty 'text' field"}
+                )
+                return
+        max_tokens = payload.get("max_tokens")
+        if max_tokens is not None:
+            try:
+                max_tokens = int(max_tokens)
+            except (TypeError, ValueError):
+                self._send(400, {"error": "'max_tokens' must be an integer"})
+                return
+            if max_tokens < 1:
+                self._send(400, {"error": "'max_tokens' must be >= 1"})
+                return
+        try:
+            result = self.frontend.ingest(documents, max_tokens=max_tokens)
+        except NotImplementedError as exc:
+            self._send(501, {"error": str(exc)})
+            return
+        except ValueError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        self._send(200, result)
 
     def _post_scan(self, payload: dict) -> None:
         from pathlib import Path

@@ -13,7 +13,8 @@ class TestParser:
         parser = build_parser()
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
-            "build", "train", "ask", "detect", "scan", "eval", "serve", "export",
+            "build", "train", "ask", "index", "detect", "scan", "eval", "serve",
+            "export",
         }
 
     def test_requires_command(self):

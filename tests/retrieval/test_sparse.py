@@ -1,0 +1,66 @@
+"""Tests for the minimal CSR batch used by sparse TF-IDF."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import CSRRows
+
+
+def _make(rows_dense):
+    """Build a CSRRows from a dense matrix (reference construction)."""
+    dense = np.asarray(rows_dense, dtype=np.float64)
+    indptr = [0]
+    indices = []
+    values = []
+    for row in dense:
+        nz = np.nonzero(row)[0]
+        indices.extend(nz.tolist())
+        values.extend(row[nz].tolist())
+        indptr.append(len(indices))
+    return CSRRows(
+        indptr=np.asarray(indptr, dtype=np.int64),
+        indices=np.asarray(indices, dtype=np.int64),
+        values=np.asarray(values, dtype=np.float64),
+        n_cols=dense.shape[1],
+    ), dense
+
+
+class TestCSRRows:
+    def test_roundtrip_to_dense(self):
+        csr, dense = _make([[0, 1.5, 0, 2.0], [0, 0, 0, 0], [3.0, 0, 0, -1.0]])
+        assert csr.n_rows == 3 and csr.nnz == 4
+        assert np.array_equal(csr.to_dense(), dense)
+
+    def test_row_views(self):
+        csr, _ = _make([[0, 1.5, 0, 2.0], [0, 0, 0, 0]])
+        idx, vals = csr.row(0)
+        assert idx.tolist() == [1, 3] and vals.tolist() == [1.5, 2.0]
+        idx, vals = csr.row(1)
+        assert len(idx) == 0 and len(vals) == 0
+
+    def test_matmul_dense_matches_dense_product(self):
+        rng = np.random.default_rng(0)
+        dense_rows = rng.random((5, 12))
+        dense_rows[dense_rows < 0.7] = 0.0  # make it sparse
+        csr, dense = _make(dense_rows)
+        other = rng.random((7, 12))
+        got = csr.matmul_dense(other)
+        assert got.shape == (5, 7)
+        assert np.allclose(got, dense @ other.T, atol=1e-12)
+
+    def test_matmul_dense_empty_batch_and_empty_rows(self):
+        csr, dense = _make(np.zeros((3, 4)))
+        other = np.ones((2, 4))
+        assert np.array_equal(csr.matmul_dense(other), np.zeros((3, 2)))
+        empty = CSRRows(
+            indptr=np.zeros(1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+            values=np.zeros(0, dtype=np.float64),
+            n_cols=4,
+        )
+        assert empty.matmul_dense(other).shape == (0, 2)
+
+    def test_matmul_dense_shape_mismatch_rejected(self):
+        csr, _ = _make([[1.0, 0.0]])
+        with pytest.raises(ValueError):
+            csr.matmul_dense(np.ones((3, 5)))

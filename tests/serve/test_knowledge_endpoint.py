@@ -1,0 +1,162 @@
+"""Tests for the §5 knowledge-ingestion endpoint and the retrieval flag
+on /api/answer, using stub systems (no training in unit tests)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import HPCGPTClient
+from repro.serve.server import start_background
+
+
+class RetrievalStubSystem:
+    """The retrieval surface of HPCGPTSystem, recorded for assertions."""
+
+    def __init__(self):
+        self.ingested = []
+        self.chunks = 7
+        self.retrieval_questions = []
+
+    def answer(self, question, version="l2"):
+        return f"lm[{version}]: {question}"
+
+    def answer_batch(self, questions, version="l2"):
+        return [self.answer(q, version) for q in questions]
+
+    def answer_retrieval_batch(self, questions, version="l2"):
+        self.retrieval_questions.append(list(questions))
+        return [f"rag[{version}]: {q}" for q in questions]
+
+    def index_documents(self, documents, max_tokens=128):
+        self.ingested.append((list(documents), max_tokens))
+        added = len(documents)
+        self.chunks += added
+        return {
+            "documents": len(documents),
+            "chunks": added,
+            "added": added,
+            "index_size": self.chunks,
+        }
+
+    def retrieval_stats(self):
+        return {"chunks": self.chunks, "dim": 420, "fingerprint": "fp-test"}
+
+    def detect_race(self, code, language="C/C++"):
+        return "no"
+
+
+class PlainStubSystem:
+    """A system without any retrieval subsystem."""
+
+    def answer(self, question, version="l2"):
+        return f"plain: {question}"
+
+    def detect_race(self, code, language="C/C++"):
+        return "no"
+
+
+@pytest.fixture(scope="module")
+def stub():
+    return RetrievalStubSystem()
+
+
+@pytest.fixture(scope="module")
+def server_url(stub):
+    server, _ = start_background(stub)
+    host, port = server.server_address
+    yield f"http://{host}:{port}"
+    server.frontend.close()
+    server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def plain_url():
+    server, _ = start_background(PlainStubSystem())
+    host, port = server.server_address
+    yield f"http://{host}:{port}"
+    server.frontend.close()
+    server.shutdown()
+
+
+def _post_raw(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    return urllib.request.urlopen(req)
+
+
+class TestKnowledgeEndpoint:
+    def test_ingest_roundtrip(self, server_url, stub):
+        client = HPCGPTClient(server_url)
+        out = client.ingest(
+            [{"text": "System: s1. Accelerator: a1.", "source": "unit"}],
+            max_tokens=64,
+        )
+        assert out["documents"] == 1 and out["added"] == 1
+        assert out["index_size"] == stub.chunks
+        docs, max_tokens = stub.ingested[-1]
+        assert docs[0]["source"] == "unit" and max_tokens == 64
+
+    def test_stats(self, server_url, stub):
+        stats = HPCGPTClient(server_url).knowledge_stats()
+        assert stats == stub.retrieval_stats()
+
+    def test_missing_documents_400(self, server_url):
+        for payload in ({}, {"documents": []}, {"documents": "nope"}):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post_raw(server_url + "/api/knowledge", payload)
+            assert err.value.code == 400
+
+    def test_empty_document_400(self, server_url):
+        for bad in ("   ", {"text": ""}, {"source": "no-text"}, 42):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post_raw(server_url + "/api/knowledge", {"documents": [bad]})
+            assert err.value.code == 400
+
+    def test_bad_max_tokens_400(self, server_url):
+        for bad in ("abc", 0, -3):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post_raw(
+                    server_url + "/api/knowledge",
+                    {"documents": ["fine text"], "max_tokens": bad},
+                )
+            assert err.value.code == 400
+
+    def test_unsupported_system_501(self, plain_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_raw(plain_url + "/api/knowledge", {"documents": ["text"]})
+        assert err.value.code == 501
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(plain_url + "/api/knowledge")
+        assert err.value.code == 501
+
+
+class TestRetrievalFlag:
+    def test_answer_with_retrieval_routes_to_rag(self, server_url, stub):
+        client = HPCGPTClient(server_url)
+        out = client.answer("what system?", retrieval=True)
+        assert out == "rag[l2]: what system?"
+        assert ["what system?"] in stub.retrieval_questions
+
+    def test_answer_without_flag_uses_lm_path(self, server_url):
+        client = HPCGPTClient(server_url)
+        assert client.answer("plain question") == "lm[l2]: plain question"
+
+    def test_response_echoes_flag(self, server_url):
+        with _post_raw(
+            server_url + "/api/answer", {"question": "q", "retrieval": True}
+        ) as resp:
+            body = json.loads(resp.read().decode())
+        assert body["retrieval"] is True
+
+    def test_unsupported_system_501(self, plain_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_raw(
+                plain_url + "/api/answer", {"question": "q", "retrieval": True}
+            )
+        assert err.value.code == 501
+        # The plain path keeps working.
+        assert HPCGPTClient(plain_url).answer("q") == "plain: q"
