@@ -255,6 +255,7 @@ def cmd_scan(args) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         jobs=args.jobs,
+        strategies=tuple(args.strategy) if args.strategy else ("random",),
     )
     system = None if args.tools_only else _make_system(args.preset)
     pipeline = ScanPipeline(system=system, config=config)
@@ -402,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default: $REPRO_CACHE/scan or .repro_cache/scan)")
     p.add_argument("--jobs", type=int, default=4,
                    help="tool-ensemble worker threads (default 4)")
+    from repro.runtime.schedules import SCHEDULE_STRATEGIES
+
+    p.add_argument("--strategy", action="append",
+                   choices=sorted(SCHEDULE_STRATEGIES),
+                   help="schedule exploration strategies, cycled over the "
+                        "schedule budget (repeatable; default: random)")
     p.add_argument("--fail-on-race", action="store_true",
                    help="exit 1 when the ensemble flags any race (CI mode)")
     p.set_defaults(func=cmd_scan)

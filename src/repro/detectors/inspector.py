@@ -37,10 +37,13 @@ def lockset_races(trace: Trace, max_reports: int = 1) -> int:
             continue
         if not any(e.is_write for e in events):
             continue
-        common: set | None = None
+        # Intersect locksets with early exit; the common `$atomic` case
+        # (all accesses atomic) never allocates the augmented set.
+        common: set | frozenset | None = None
         for e in events:
-            held = set(e.locks)
+            held: set | frozenset = e.locks
             if e.atomic:
+                held = set(held)
                 held.add("$atomic")
             common = held if common is None else (common & held)
             if not common:

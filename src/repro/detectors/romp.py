@@ -31,6 +31,10 @@ def _ordered_only_conflicts(trace: Trace) -> bool:
             continue
         by_loc.setdefault(e.loc, []).append(e)
     for events in by_loc.values():
+        # Pairwise scan only where a conflict is possible at all: a
+        # writer and a second thread (same prefilter as hb_races).
+        if not any(e.is_write for e in events) or len({e.tid for e in events}) < 2:
+            continue
         for a, b in combinations(events, 2):
             if not events_conflict(a, b):
                 continue

@@ -9,6 +9,11 @@ provably unordered in an observed execution, which keeps precision near
 Support: everything on C/C++; on Fortran, programs using ``target``
 offload or ``ordered`` are rejected (the gfortran runtime interplay the
 paper's lower Fortran TSR reflects).
+
+The happens-before check itself is the machine's epoch-matrix
+``hb_races`` (vectorised per location, ``max_reports=1`` so the first
+unordered pair settles the verdict) — verdict-identical to the seed
+dict-clock implementation.
 """
 
 from __future__ import annotations

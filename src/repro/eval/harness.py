@@ -29,6 +29,9 @@ class HarnessConfig:
     n_threads: int = 2
     n_schedules: int = 4
     base_seed: int = 0
+    # Table-5 rows are defined against the seed exploration policy;
+    # alternative strategies are opt-in (see repro.runtime.schedules).
+    strategies: tuple[str, ...] = ("random",)
 
 
 @dataclass
@@ -61,6 +64,7 @@ class EvaluationHarness:
                     n_threads=self.config.n_threads,
                     n_schedules=self.config.n_schedules,
                     base_seed=self.config.base_seed,
+                    strategies=self.config.strategies,
                 )
             )
             cached = machine.traces(spec.parse())

@@ -15,12 +15,23 @@ regions, ``simd`` (vector lanes with chunk barriers honouring safelen),
 """
 
 from repro.runtime.vectorclock import VectorClock
+from repro.runtime.clocks import ClockBank, ClockView, EpochClock
 from repro.runtime.memory import SharedMemory
 from repro.runtime.interpreter import ExecutionError, MemEvent, Trace, execute
-from repro.runtime.machine import Machine, MachineConfig
+from repro.runtime.machine import (
+    Machine,
+    MachineConfig,
+    RaceReport,
+    hb_races,
+    hb_races_reference,
+)
+from repro.runtime.schedules import SCHEDULE_STRATEGIES
 
 __all__ = [
     "VectorClock",
+    "ClockBank",
+    "ClockView",
+    "EpochClock",
     "SharedMemory",
     "ExecutionError",
     "MemEvent",
@@ -28,4 +39,8 @@ __all__ = [
     "execute",
     "Machine",
     "MachineConfig",
+    "RaceReport",
+    "hb_races",
+    "hb_races_reference",
+    "SCHEDULE_STRATEGIES",
 ]

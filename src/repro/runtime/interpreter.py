@@ -13,7 +13,14 @@ maintains vector clocks and per-thread locksets.
 
 The output :class:`Trace` carries every shared-memory event with its
 vector clock, lockset, atomicity flag, and (for ``simd``) a lane marker —
-everything the dynamic detectors need.
+everything the dynamic detectors need.  Clocks live in the trace's
+:class:`~repro.runtime.clocks.ClockBank` epoch matrix: each event stores
+a row index (snapshots are interned once per synchronisation interval),
+and ``event.vc`` is a lazy dict-compatible view for consumers that want
+the classic :class:`VectorClock` API.  Which ready thread runs at each
+scheduling point is delegated to a pluggable exploration strategy
+(:mod:`repro.runtime.schedules`); ``random`` reproduces the seed
+scheduler exactly.
 
 SIMD loops execute as ``safelen`` (default 4) vector lanes with a chunk
 barrier after each vector step: dependences shorter than the vector
@@ -35,7 +42,9 @@ from repro.openmp.ast_nodes import (
     ScalarDecl, Seq, SingleSection, Var,
 )
 from repro.openmp.pragmas import Pragma
+from repro.runtime.clocks import ClockBank, ClockView, EpochClock
 from repro.runtime.memory import SharedMemory
+from repro.runtime.schedules import ScheduleStrategy, make_strategy
 from repro.runtime.vectorclock import VectorClock
 
 
@@ -51,11 +60,12 @@ class MemEvent:
     tid: object  # worker index, ("lane", k), or ("dev", k)
     is_write: bool
     loc: tuple  # ("arr", name, index) | ("sca", name)
-    vc: VectorClock
+    vc: VectorClock  # machine traces carry a lazy ClockView over the bank
     locks: frozenset
     atomic: bool = False
     lane: bool = False  # SIMD lane event (invisible to thread-level tools)
     region: int = 0  # which parallel construct produced it
+    clock_row: int = -1  # row in the trace's epoch matrix (-1: hand-built)
 
 
 @dataclass
@@ -64,9 +74,11 @@ class Trace:
 
     events: list[MemEvent] = field(default_factory=list)
     schedule_seed: int = 0
+    schedule_strategy: str = "random"
     n_threads: int = 0
     final_arrays: dict = field(default_factory=dict)
     regions: int = 0
+    clock_bank: ClockBank | None = None  # epoch matrix behind the events
 
     def shared_locations(self) -> set[tuple]:
         return {e.loc for e in self.events}
@@ -110,7 +122,9 @@ def _arith(op: str, a, b):
         if both_int:
             if b == 0:
                 raise ExecutionError("integer division by zero")
-            return int(a / b) if (a < 0) != (b < 0) and a % b else a // b
+            # C truncates toward zero.  Pure integer form: floating
+            # `int(a / b)` silently loses precision past 2**53.
+            return a // b if (a < 0) == (b < 0) else -(-a // b)
         if b == 0:
             raise ExecutionError("division by zero")
         return a / b
@@ -119,7 +133,10 @@ def _arith(op: str, a, b):
             raise ExecutionError("modulo requires integer operands")
         if b == 0:
             raise ExecutionError("modulo by zero")
-        return a - b * int(a / b) if a < 0 else a % b
+        # C remainder: a == (a/b)*b + a%b with truncating division, so
+        # the result carries the dividend's sign.  Integer-only again.
+        q = a // b if (a < 0) == (b < 0) else -(-a // b)
+        return a - b * q
     if op == "<":
         return a < b
     if op == "<=":
@@ -291,7 +308,7 @@ _REDUCTION_INIT = {"+": 0.0, "-": 0.0, "*": 1.0, "max": -np.inf, "min": np.inf}
 class _Thread:
     __slots__ = ("tid", "gen", "vc", "locks", "status", "send_value", "wait_lock", "is_master", "lane")
 
-    def __init__(self, tid, gen, vc: VectorClock, is_master: bool = False, lane: bool = False) -> None:
+    def __init__(self, tid, gen, vc: EpochClock, is_master: bool = False, lane: bool = False) -> None:
         self.tid = tid
         self.gen = gen
         self.vc = vc
@@ -304,22 +321,24 @@ class _Thread:
 
 
 class _Scheduler:
-    """Runs one team of threads to completion under random interleaving."""
+    """Runs one team of threads to completion under one exploration
+    strategy (the seed behaviour is ``strategy="random"``)."""
 
     def __init__(
         self,
         mem: SharedMemory,
         trace: Trace,
-        rng: np.random.Generator,
+        strategy: ScheduleStrategy,
         region: int,
         seq_counter: itertools.count,
     ) -> None:
         self.mem = mem
         self.trace = trace
-        self.rng = rng
+        self.strategy = strategy
         self.region = region
         self.seq = seq_counter
-        self.lock_vcs: dict[str, VectorClock] = {}
+        self.bank: ClockBank = trace.clock_bank
+        self.lock_vcs: dict[str, list[int]] = {}  # raw clock snapshots
         self.lock_owner: dict[str, object] = {}
         self.lock_waiters: dict[str, list[_Thread]] = {}
         self.single_winner: dict[int, object] = {}
@@ -328,17 +347,21 @@ class _Scheduler:
     # -- event logging -------------------------------------------------------
 
     def _log(self, t: _Thread, is_write: bool, loc: tuple, atomic: bool = False) -> None:
+        # One interned row per sync interval instead of a dict copy per
+        # event: vc.row() only allocates when the clock changed.
+        row = t.vc.row()
         self.trace.events.append(
             MemEvent(
                 seq=next(self.seq),
                 tid=t.tid,
                 is_write=is_write,
                 loc=loc,
-                vc=t.vc.copy(),
+                vc=ClockView(self.bank, row),
                 locks=frozenset(t.locks),
                 atomic=atomic,
                 lane=t.lane,
                 region=self.region,
+                clock_row=row,
             )
         )
 
@@ -416,7 +439,7 @@ class _Scheduler:
             name = action[1]
             if self.lock_owner.get(name) != t.tid:
                 raise ExecutionError(f"thread {t.tid} released lock {name!r} it does not own")
-            self.lock_vcs[name] = t.vc.copy()
+            self.lock_vcs[name] = t.vc.snapshot()
             t.vc.tick(t.tid)
             t.locks.discard(name)
             del self.lock_owner[name]
@@ -467,9 +490,9 @@ class _Scheduler:
                 live = [t for t in threads if t.status != "done"]
                 if waiting and len(waiting) == len(live):
                     # Barrier release: join clocks, tick, resume everyone.
-                    merged = VectorClock()
+                    merged = EpochClock(self.bank)
                     for t in threads:
-                        merged.join(t.vc)
+                        merged.join(t.vc.values)
                     for t in waiting:
                         t.vc = merged.copy()
                         t.vc.tick(t.tid)
@@ -480,7 +503,7 @@ class _Scheduler:
                     "deadlock: no runnable thread "
                     f"(states: {[(t.tid, t.status) for t in threads]})"
                 )
-            t = ready[int(self.rng.integers(len(ready)))]
+            t = self.strategy.pick(ready, pending)
             action = pending[t.tid]
             if action is None:
                 # Thread resumed after block; pull the next action.
@@ -507,13 +530,14 @@ class _Scheduler:
 class _MasterContext:
     """Serial execution of top-level statements plus team spawning."""
 
-    def __init__(self, program: Program, n_threads: int, rng: np.random.Generator) -> None:
+    def __init__(self, program: Program, n_threads: int, strategy: ScheduleStrategy) -> None:
         self.program = program
         self.mem = SharedMemory(program)
         self.n_threads = n_threads
-        self.rng = rng
-        self.trace = Trace(n_threads=n_threads)
-        self.master_vc = VectorClock()
+        self.strategy = strategy
+        self.bank = ClockBank()
+        self.trace = Trace(n_threads=n_threads, clock_bank=self.bank)
+        self.master_vc = EpochClock(self.bank)
         self.master_vc.tick("master")
         self.seq = itertools.count()
         self.region_counter = itertools.count()
@@ -583,10 +607,10 @@ class _MasterContext:
             vc = self.master_vc.copy()
             vc.tick(tid)
             threads.append(_Thread(tid, gen, vc, is_master=(tid == 0), lane=lane))
-        sched = _Scheduler(self.mem, self.trace, self.rng, region, self.seq)
+        sched = _Scheduler(self.mem, self.trace, self.strategy, region, self.seq)
         sched.run(threads)
         for t in threads:
-            self.master_vc.join(t.vc)
+            self.master_vc.join(t.vc.values)
         self.master_vc.tick("master")
         return threads
 
@@ -792,12 +816,18 @@ def execute(
     program: Program,
     n_threads: int = 2,
     schedule_seed: int = 0,
+    strategy: str = "random",
 ) -> Trace:
-    """Run ``program`` once with a seeded interleaving; returns the trace."""
+    """Run ``program`` once under a seeded exploration strategy.
+
+    ``strategy="random"`` reproduces the seed machine bit for bit; see
+    :mod:`repro.runtime.schedules` for the other policies.
+    """
     if n_threads < 1:
         raise ValueError("need at least one thread")
     rng = np.random.Generator(np.random.PCG64(schedule_seed))
-    ctx = _MasterContext(program, n_threads, rng)
+    ctx = _MasterContext(program, n_threads, make_strategy(strategy, rng))
     trace = ctx.run()
     trace.schedule_seed = schedule_seed
+    trace.schedule_strategy = strategy
     return trace

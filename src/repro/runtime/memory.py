@@ -39,8 +39,12 @@ class SharedMemory:
         buf = self.arrays.get(name)
         if buf is None:
             raise KeyError(f"undeclared array {name!r}")
+        # The valid window is [base, shape-1] in both languages: the C
+        # buffer is exactly `size` slots, the Fortran buffer is
+        # `size + 1` with slot 0 as padding that lo = 1 keeps
+        # unaddressable.
         lo = self.base
-        hi = buf.shape[0] - 1 if self.base else buf.shape[0] - 1
+        hi = buf.shape[0] - 1
         if index < lo or index > hi:
             raise IndexError(
                 f"array {name!r} index {index} out of bounds [{lo}, {hi}]"

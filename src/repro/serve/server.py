@@ -265,6 +265,8 @@ class ServingFrontend:
             tools_only=bool(options.get("tools_only", False)),
             use_cache=not options.get("no_cache", False),
             jobs=int(options.get("jobs", 4)),
+            strategies=tuple(options["strategies"])
+            if options.get("strategies") else ("random",),
         )
         pipeline = ScanPipeline(
             system=None if config.tools_only else self.system,
@@ -524,7 +526,7 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
             return
         options = {
             k: payload[k]
-            for k in ("languages", "tools_only", "no_cache", "jobs")
+            for k in ("languages", "tools_only", "no_cache", "jobs", "strategies")
             if k in payload
         }
         try:
@@ -535,6 +537,18 @@ class HPCGPTRequestHandler(BaseHTTPRequestHandler):
         except UnknownLanguageError as exc:
             self._send(400, {"error": str(exc)})
             return
+        if options.get("strategies"):
+            from repro.runtime.schedules import SCHEDULE_STRATEGIES
+
+            unknown = [
+                s for s in options["strategies"] if s not in SCHEDULE_STRATEGIES
+            ]
+            if unknown:
+                self._send(400, {
+                    "error": f"unknown schedule strategies {unknown!r}; "
+                             f"have {sorted(SCHEDULE_STRATEGIES)}",
+                })
+                return
         job = self.frontend.scan_submit(path, options)
         self._send(202, {"id": job.id, "status": job.status, "path": job.path})
 

@@ -1,0 +1,95 @@
+"""C arithmetic semantics in the interpreter: truncating integer
+division and remainder must be exact for arbitrarily large operands.
+
+The seed routed both through ``int(a / b)`` — float-mediated, so
+operands past 2**53 silently produced wrong quotients.  The rewrite
+uses pure integer truncation (the ``-(-a // b)`` form)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openmp import parse_c
+from repro.runtime import ExecutionError, execute
+from repro.runtime.interpreter import _arith
+
+BIG = 2**60 + 2**53 + 12345  # far past exact float territory
+SIGN_CASES = [
+    (BIG, 7), (-BIG, 7), (BIG, -7), (-BIG, -7),
+    (2**53 + 1, 3), (-(2**53 + 1), 3), (2**53 + 1, -3), (-(2**53 + 1), -3),
+]
+
+
+def c_trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+class TestTruncatingDivision:
+    @pytest.mark.parametrize("a,b", SIGN_CASES)
+    def test_large_operands_exact(self, a, b):
+        assert _arith("/", a, b) == c_trunc_div(a, b)
+
+    @pytest.mark.parametrize("a,b", [(7, 2), (-7, 2), (7, -2), (-7, -2)])
+    def test_small_operands_truncate_toward_zero(self, a, b):
+        # C: 7/2 == 3, -7/2 == -3, 7/-2 == -3, -7/-2 == 3.
+        assert _arith("/", a, b) == c_trunc_div(a, b)
+
+    def test_exact_division_all_signs(self):
+        for a, b in [(6, 3), (-6, 3), (6, -3), (-6, -3)]:
+            assert _arith("/", a, b) == c_trunc_div(a, b)
+
+    def test_float_division_untouched(self):
+        assert _arith("/", 7.0, 2) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            _arith("/", 1, 0)
+
+
+class TestCRemainder:
+    @pytest.mark.parametrize("a,b", SIGN_CASES)
+    def test_large_operands_exact(self, a, b):
+        assert _arith("%", a, b) == a - b * c_trunc_div(a, b)
+
+    @pytest.mark.parametrize(
+        "a,b,expected", [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)]
+    )
+    def test_sign_follows_dividend(self, a, b, expected):
+        assert _arith("%", a, b) == expected
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            _arith("%", 1, 0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ExecutionError):
+            _arith("%", 1.5, 2)
+
+
+nonzero = st.integers(-(2**64), 2**64).filter(lambda n: n != 0)
+
+
+class TestDivModLaws:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(-(2**64), 2**64), nonzero)
+    def test_euclidean_identity_and_remainder_bounds(self, a, b):
+        q = _arith("/", a, b)
+        r = _arith("%", a, b)
+        assert a == b * q + r  # the C identity (a/b)*b + a%b == a
+        assert abs(r) < abs(b)
+        assert r == 0 or (r < 0) == (a < 0)  # remainder carries a's sign
+
+
+def test_division_inside_kernel_large_index_math():
+    """End to end: index arithmetic through / stays exact in programs."""
+    src = """
+int i;
+double a[8];
+#pragma omp parallel for
+for (i = 0; i < 8; i++) { a[i] = (i * 6 + 3) / 3; }
+"""
+    trace = execute(parse_c(src), n_threads=2, schedule_seed=0)
+    assert [trace.final_arrays["a"][i] for i in range(8)] == [
+        (i * 6 + 3) // 3 for i in range(8)
+    ]

@@ -150,6 +150,29 @@ class TestScanEndpoints:
             urllib.request.urlopen(req)
         assert err.value.code == 400
 
+    def test_scan_with_schedule_strategies(self, scan_server):
+        root, url = scan_server
+        client = HPCGPTClient(url)
+        job_id = client.scan_start(
+            str(root), tools_only=True, no_cache=True,
+            strategies=["round_robin", "adversarial"],
+        )
+        status = client.scan_wait(job_id, timeout=30.0)
+        assert status["status"] == "done"
+        assert status["report"]["totals"]["kernels"] == 1
+
+    def test_unknown_strategy_400(self, scan_server):
+        root, url = scan_server
+        req = urllib.request.Request(
+            url + "/api/scan",
+            data=json.dumps({"path": str(root), "tools_only": True,
+                             "strategies": ["chaos-monkey"]}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        assert err.value.code == 400
+
     def test_unknown_job_404(self, scan_server):
         _, url = scan_server
         with pytest.raises(urllib.error.HTTPError) as err:
